@@ -1,0 +1,576 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md §4 for the experiment index). The expensive part — the
+// simulated world and the active campaign — runs once and is shared; each
+// benchmark then measures regenerating its artifact from the accumulated
+// state, and prints the artifact once so `go test -bench` output doubles as
+// the reproduction report. Micro-benchmarks for the substrates and the
+// ablation benches live at the bottom.
+
+import (
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anycast"
+	"repro/internal/axfr"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/propagation"
+	"repro/internal/rss"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+	"repro/internal/zone"
+	"repro/internal/zonemd"
+)
+
+var (
+	studyOnce sync.Once
+	study     *core.Study
+	studyErr  error
+)
+
+// benchStudy runs the shared campaign once. BENCH_SCALE overrides the
+// schedule thinning (smaller = closer to the paper's fidelity, slower).
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		if s := os.Getenv("BENCH_SCALE"); s != "" {
+			fmt.Sscanf(s, "%d", &cfg.Scale)
+		}
+		study, studyErr = core.NewStudy(cfg)
+		if studyErr != nil {
+			return
+		}
+		start := time.Now()
+		studyErr = study.Run()
+		fmt.Fprintf(os.Stderr, "[bench setup] campaign (scale=%d, vps=%d) took %s\n",
+			cfg.Scale, len(study.World.Population.VPs), time.Since(start).Round(time.Second))
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return study
+}
+
+// printOnce emits the artifact once per benchmark so the bench log is the
+// report.
+var printedArtifacts sync.Map
+
+func artifact(b *testing.B, name string, render func(io.Writer)) {
+	if _, loaded := printedArtifacts.LoadOrStore(name, true); !loaded {
+		render(os.Stderr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(io.Discard)
+	}
+}
+
+func BenchmarkTable1SiteCoverage(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "table1", s.Coverage.WriteTable1)
+}
+
+func BenchmarkTable2ZonemdErrors(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "table2", s.Integrity.WriteTable2)
+}
+
+func BenchmarkTable3VantagePoints(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "table3", s.WriteTable3)
+}
+
+func BenchmarkTable4RegionalCoverage(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "table4", s.Coverage.WriteTable4)
+}
+
+func BenchmarkFigure1Coverage(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure1", func(w io.Writer) {
+		// Fig. 1 is the VP map plus f.root coverage; render the textual
+		// equivalents.
+		fmt.Fprintf(w, "Figure 1a: %d VPs in %d networks, %d countries\n",
+			len(s.World.Population.VPs), s.World.Population.Networks(),
+			s.World.Population.Countries())
+		for _, r := range s.Coverage.Table1() {
+			if r.Letter == "f" {
+				fmt.Fprintf(w, "Figure 1b: f.root %d/%d global, %d/%d local sites observed\n",
+					r.GlobalCov, r.GlobalSites, r.LocalCov, r.LocalSites)
+			}
+		}
+	})
+}
+
+func BenchmarkFigure2Timeline(b *testing.B) {
+	artifact(b, "figure2", func(w io.Writer) {
+		ticks := measure.Ticks(measure.StudyStart, measure.StudyEnd, 1)
+		fast := 0
+		for _, t := range ticks {
+			if measure.BaseInterval(t.Time) == 15*time.Minute {
+				fast++
+			}
+		}
+		fmt.Fprintf(w, "Figure 2: %d measurement rounds (%d at 15-min cadence); ", len(ticks), fast)
+		fmt.Fprintf(w, "ZONEMD placeholder %s, verifiable %s, b.root change %s\n",
+			zonemd.PlaceholderDate.Format("2006-01-02"),
+			zonemd.VerifiableDate.Format("2006-01-02"),
+			measure.BRootChange.Format("2006-01-02"))
+	})
+}
+
+func BenchmarkFigure3ChangeCCDF(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure3", s.Stability.WriteFigure3)
+}
+
+func BenchmarkFigure4ReducedRedundancy(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure4", s.Colocation.WriteFigure4)
+}
+
+func BenchmarkSection5Colocation(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "section5", func(w io.Writer) {
+		fmt.Fprintf(w, "Section 5: %.1f%% of VPs observe >=2 co-located roots (max %d)\n",
+			s.Colocation.ShareWithColocation()*100, s.Colocation.MaxReducedRedundancy())
+	})
+}
+
+func BenchmarkFigure5Distance(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure5", s.Distance.WriteFigure5)
+}
+
+func BenchmarkFigure6RTT(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure6", s.RTT.WriteFigure6)
+}
+
+func BenchmarkFigure14RTTAllRegions(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure14", s.RTT.WriteFigure14)
+}
+
+func BenchmarkSection6CarrierEffects(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "section6carrier", s.RTT.WriteCarrierEffects)
+}
+
+func BenchmarkFigure7ISPTraffic(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure7", s.Traffic.WriteFigure7)
+}
+
+func BenchmarkFigure8ClientsPerDay(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure8", s.Traffic.WriteFigure8)
+}
+
+func BenchmarkFigure9IXPTraffic(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure9", s.Traffic.WriteFigure9)
+}
+
+func BenchmarkFigure10Bitflip(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure10", s.Integrity.WriteFigure10)
+}
+
+func BenchmarkFigure11CoverageMaps(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure11", s.Coverage.Figure11)
+}
+
+func BenchmarkFigure12ISPAllRoots(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure12", s.Traffic.WriteFigure12)
+}
+
+func BenchmarkFigure13IXPAllRoots(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "figure13", s.Traffic.WriteFigure13)
+}
+
+func BenchmarkSection6ShiftRatios(b *testing.B) {
+	s := benchStudy(b)
+	artifact(b, "section6shift", func(w io.Writer) {
+		w2 := [2]time.Time{
+			time.Date(2024, 2, 5, 0, 0, 0, 0, time.UTC),
+			time.Date(2024, 3, 4, 0, 0, 0, 0, time.UTC),
+		}
+		fmt.Fprintf(w, "Section 6: ISP in-family shift v4=%.1f%% v6=%.1f%% (paper: 87.1%% / 96.3%%)\n",
+			s.Traffic.ISP.ShiftRatio(topology.IPv4, w2[0], w2[1])*100,
+			s.Traffic.ISP.ShiftRatio(topology.IPv6, w2[0], w2[1])*100)
+	})
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func benchMessage() *dnswire.Message {
+	m := dnswire.NewQuery(1, dnswire.Root, dnswire.TypeNS)
+	m.Header.Response = true
+	for i := 0; i < 13; i++ {
+		host := dnswire.MustName(fmt.Sprintf("%c.root-servers.net.", 'a'+i))
+		m.Answers = append(m.Answers, dnswire.RR{
+			Name: dnswire.Root, Class: dnswire.ClassINET, TTL: 518400,
+			Data: dnswire.NSRecord{Host: host},
+		})
+	}
+	return m
+}
+
+func BenchmarkWirePack(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireUnpack(b *testing.B) {
+	wire, err := benchMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSignedZone(b *testing.B, tlds int) (*zone.Zone, *dnssec.Signer) {
+	b.Helper()
+	signer, err := dnssec.NewSigner(mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = tlds
+	signed, err := signer.Sign(zone.SynthesizeRoot(cfg),
+		time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return signed, signer
+}
+
+func BenchmarkZoneSign(b *testing.B) {
+	signer, err := dnssec.NewSigner(mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = 80
+	unsigned := zone.SynthesizeRoot(cfg)
+	when := time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signer.Sign(unsigned, when); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZoneValidate(b *testing.B) {
+	z, signer := benchSignedZone(b, 80)
+	anchor := signer.TrustAnchor().Data.(dnswire.DSRecord)
+	when := time.Date(2023, 12, 10, 1, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dnssec.ValidateZone(z, anchor, when); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZonemdDigest(b *testing.B) {
+	z, _ := benchSignedZone(b, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zonemd.Digest(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAXFRServeReceive(b *testing.B) {
+	z, _ := benchSignedZone(b, 80)
+	q := &dnswire.Message{
+		Header: dnswire.Header{ID: 1},
+		Questions: []dnswire.Question{{
+			Name: dnswire.Root, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET,
+		}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf sliceBuffer
+		if err := axfr.Serve(&buf, z, q); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := axfr.Receive(&buf, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sliceBuffer is a minimal in-memory byte pipe for the AXFR bench.
+type sliceBuffer struct {
+	data []byte
+	off  int
+}
+
+func (s *sliceBuffer) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+func (s *sliceBuffer) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+func BenchmarkRouteComputation(b *testing.B) {
+	topo := topology.Build(topology.DefaultConfig())
+	origins := []topology.Origin{
+		{SiteID: "s1", ASN: 100}, {SiteID: "s2", ASN: 105},
+		{SiteID: "s3", ASN: 110}, {SiteID: "s4", ASN: topology.ASNOpenV6},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.ComputeRoutes(origins, topology.IPv6)
+	}
+}
+
+// --- Ablation benchmarks ---------------------------------------------------
+
+// BenchmarkAblationCompression compares packing the priming response with
+// and without name compression (DESIGN.md §5).
+func BenchmarkAblationCompression(b *testing.B) {
+	m := benchMessage()
+	b.Run("compressed", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			wire, err := m.Pack()
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(wire)
+		}
+		b.ReportMetric(float64(size), "bytes/msg")
+	})
+	b.Run("uncompressed", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			wire, err := m.PackUncompressed()
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(wire)
+		}
+		b.ReportMetric(float64(size), "bytes/msg")
+	})
+}
+
+// BenchmarkAblationCanonicalSort compares digesting a pre-sorted zone with
+// digesting a shuffled one (the sort dominates for unsorted input).
+func BenchmarkAblationCanonicalSort(b *testing.B) {
+	z, _ := benchSignedZone(b, 80)
+	sorted := z.Clone().Canonicalize()
+	shuffled := z.Clone()
+	rng := mrand.New(mrand.NewSource(3))
+	rng.Shuffle(len(shuffled.Records), func(i, j int) {
+		shuffled.Records[i], shuffled.Records[j] = shuffled.Records[j], shuffled.Records[i]
+	})
+	for _, sel := range []struct {
+		name string
+		z    *zone.Zone
+	}{{"presorted", sorted}, {"shuffled", shuffled}} {
+		b.Run(sel.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := zonemd.Digest(sel.z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCatchmentCache compares resolving a site through the
+// precomputed catchment against recomputing routes per query.
+func BenchmarkAblationCatchmentCache(b *testing.B) {
+	topo := topology.Build(topology.DefaultConfig())
+	builder := anycast.NewBuilder(topo, 1)
+	d := &anycast.Deployment{Name: "x"}
+	d.Sites = builder.PlaceSites("x", anycast.Global, geo.Europe, 12)
+	stubs := topo.StubASNs(nil)
+	b.Run("cached", func(b *testing.B) {
+		c := anycast.ComputeCatchment(topo, d, topology.IPv4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Site(stubs[i%len(stubs)])
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := anycast.ComputeCatchment(topo, d, topology.IPv4)
+			c.Site(stubs[i%len(stubs)])
+		}
+	})
+}
+
+// BenchmarkAblationPolicyWeights compares policy (Gao-Rexford) routing with
+// classless shortest-path routing and reports the route-inflation gap: the
+// share of stubs whose policy route is geographically longer than their
+// shortest-path route.
+func BenchmarkAblationPolicyWeights(b *testing.B) {
+	topo := topology.Build(topology.DefaultConfig())
+	origins := []topology.Origin{
+		{SiteID: "s1", ASN: 100}, {SiteID: "s2", ASN: 104},
+		{SiteID: "s3", ASN: 108}, {SiteID: "s4", ASN: 111},
+	}
+	b.Run("policy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			topo.ComputeRoutes(origins, topology.IPv4)
+		}
+	})
+	b.Run("shortest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			topo.ComputeRoutesShortest(origins, topology.IPv4)
+		}
+	})
+	// Report inflation once.
+	policy := topo.ComputeRoutes(origins, topology.IPv4)
+	shortest := topo.ComputeRoutesShortest(origins, topology.IPv4)
+	inflated, total := 0, 0
+	for _, asn := range topo.StubASNs(nil) {
+		p, okP := policy.Best(asn)
+		s, okS := shortest.Best(asn)
+		if !okP || !okS {
+			continue
+		}
+		total++
+		if p.PathKm > s.PathKm+250 {
+			inflated++
+		}
+	}
+	if _, loaded := printedArtifacts.LoadOrStore("ablation-policy", true); !loaded {
+		fmt.Fprintf(os.Stderr, "[ablation] policy routing inflates %d/%d stub paths vs shortest-path\n",
+			inflated, total)
+	}
+}
+
+// BenchmarkExtensionControlGroup runs the Appendix-E control-group
+// comparison (a 13-site deployment under experimenter control vs h.root).
+func BenchmarkExtensionControlGroup(b *testing.B) {
+	topo := topology.Build(topology.DefaultConfig())
+	sys := rss.Build(topo, 1)
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Scale = 5
+	pop := vantage.Generate(topo, vpCfg)
+	cfg := control.DefaultConfig()
+	cfg.Ticks = 50
+	exp := control.New(cfg, topo, sys, pop)
+	var res *control.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = exp.Run("h", topology.IPv4)
+	}
+	b.StopTimer()
+	if _, loaded := printedArtifacts.LoadOrStore("ext-control", true); !loaded {
+		res.Write(os.Stderr)
+	}
+}
+
+// BenchmarkExtensionSOAPropagation runs the per-second SOA convergence
+// experiment (Appendix E, "Limited Temporal Resolution").
+func BenchmarkExtensionSOAPropagation(b *testing.B) {
+	topo := topology.Build(topology.DefaultConfig())
+	sys := rss.Build(topo, 1)
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Scale = 10
+	exp := &propagation.Experiment{
+		Topo:       topo,
+		System:     sys,
+		Population: vantage.Generate(topo, vpCfg),
+		Models:     propagation.DefaultSyncModels(),
+		Window:     2 * time.Minute,
+		Seed:       3,
+	}
+	var results []propagation.LetterResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = exp.Run(topology.IPv4)
+	}
+	b.StopTimer()
+	if _, loaded := printedArtifacts.LoadOrStore("ext-soa", true); !loaded {
+		propagation.Write(os.Stderr, results)
+	}
+}
+
+// BenchmarkDatasetWrite measures recording throughput of the compressed
+// event log (the paper's data-publication path).
+func BenchmarkDatasetWrite(b *testing.B) {
+	s := benchStudy(b)
+	// Synthesize a representative probe event once.
+	e := measure.ProbeEvent{
+		Tick:         measure.Tick{Index: 10, Time: measure.StudyStart},
+		VP:           &s.World.Population.VPs[0],
+		Target:       rss.AllServiceAddrs()[0],
+		SiteID:       "a-fra1",
+		Identifier:   "fra",
+		Facility:     "IX-FRA",
+		SiteCity:     s.World.Population.VPs[0].City,
+		RTTms:        17.3,
+		ASPath:       []int{4242, 1001, 100, 5555},
+		SecondToLast: "fac-IX-FRA-edge-IPv4",
+		STLOK:        true,
+	}
+	w, err := dataset.NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Tick.Index = i
+		w.HandleProbe(e)
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command rootanalyze replays a dataset recorded by rootmeasure through the
+// full analysis suite and prints every active-measurement table and figure.
+// The world is reconstructed from the same seed flags used when recording.
+//
+// Usage:
+//
+//	rootanalyze -in study.rgds [-seed 1] [-vpscale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/measure"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+)
+
+func main() {
+	in := flag.String("in", "study.rgds", "dataset input file")
+	seed := flag.Int64("seed", 1, "world seed used when recording")
+	vpScale := flag.Int("vpscale", 1, "VP population divisor used when recording")
+	tlds := flag.Int("tlds", 80, "TLD count used when recording")
+	flag.Parse()
+
+	mCfg := measure.DefaultConfig()
+	mCfg.Seed, mCfg.TLDCount = *seed, *tlds
+	topoCfg := topology.DefaultConfig()
+	topoCfg.Seed = *seed
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Seed = *seed
+	vpCfg.Scale = *vpScale
+	world, err := measure.NewWorld(mCfg, topoCfg, vpCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	reader, err := dataset.NewReader(f, world.Population)
+	if err != nil {
+		fatal(err)
+	}
+	defer reader.Close()
+
+	coverage := analysis.NewCoverage(world.System)
+	stability := analysis.NewStability()
+	colocation := analysis.NewColocation(world.Population)
+	distance := analysis.NewDistance(world.System, world.Population)
+	rtt := analysis.NewRTT()
+	integrity := analysis.NewIntegrity()
+
+	probes, transfers, err := reader.Replay(coverage, stability, colocation, distance, rtt, integrity)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d probes, %d transfers from %s\n\n", probes, transfers, *in)
+
+	coverage.WriteTable1(os.Stdout)
+	fmt.Println()
+	coverage.WriteTable4(os.Stdout)
+	fmt.Println()
+	stability.WriteFigure3(os.Stdout)
+	fmt.Println()
+	colocation.WriteFigure4(os.Stdout)
+	fmt.Println()
+	distance.WriteFigure5(os.Stdout)
+	fmt.Println()
+	rtt.WriteFigure6(os.Stdout)
+	fmt.Println()
+	rtt.WriteFigure14(os.Stdout)
+	fmt.Println()
+	integrity.WriteTable2(os.Stdout)
+	fmt.Println()
+	integrity.WriteFigure10(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rootanalyze: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command rootdig is a minimal dig: it queries a DNS server (by default the
+// local rootserve instance) and prints the response in dig-like format.
+//
+// Usage:
+//
+//	rootdig [-server 127.0.0.1:5353] [-dnssec] [name] [type]
+//	rootdig -chaos hostname.bind
+//	rootdig -axfr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5353", "server address")
+	dnssec := flag.Bool("dnssec", false, "set the DO bit (EDNS0, 4096 bytes)")
+	chaos := flag.String("chaos", "", "CH TXT identity query (hostname.bind, id.server, ...)")
+	axfr := flag.Bool("axfr", false, "request a full zone transfer")
+	flag.Parse()
+
+	c := dnsclient.New(*server)
+	if *dnssec {
+		c.EDNSSize = 4096
+	}
+
+	switch {
+	case *chaos != "":
+		txt, err := c.QueryChaosTXT(dnswire.MustName(*chaos))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s. CH TXT %q\n", *chaos, txt)
+	case *axfr:
+		z, err := c.TransferZone()
+		if err != nil {
+			fatal(err)
+		}
+		if err := z.Canonicalize().Print(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		name, typ := ".", "NS"
+		if flag.NArg() > 0 {
+			name = flag.Arg(0)
+		}
+		if flag.NArg() > 1 {
+			typ = flag.Arg(1)
+		}
+		qname, err := dnswire.NewName(name)
+		if err != nil {
+			fatal(err)
+		}
+		qtype, err := dnswire.TypeFromString(typ)
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := c.Query(qname, qtype)
+		if err != nil {
+			fatal(err)
+		}
+		printResponse(resp)
+	}
+}
+
+func printResponse(m *dnswire.Message) {
+	fmt.Printf(";; status: %s, id: %d, aa: %v\n",
+		m.Header.Rcode, m.Header.ID, m.Header.Authoritative)
+	fmt.Println(";; QUESTION")
+	for _, q := range m.Questions {
+		fmt.Printf(";%s\n", q)
+	}
+	sections := []struct {
+		label string
+		rrs   []dnswire.RR
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}}
+	for _, sec := range sections {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Printf(";; %s\n", sec.label)
+		for _, rr := range sec.rrs {
+			if rr.Type() == dnswire.TypeOPT {
+				continue
+			}
+			fmt.Println(rr)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rootdig: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command rootmeasure runs the active measurement campaign and records the
+// event stream to a compressed dataset file, the equivalent of the paper's
+// published NLNOG-DNS-1 data. Analyze the recording with rootanalyze using
+// the same seed and scale flags (the world is reconstructed
+// deterministically from them).
+//
+// Usage:
+//
+//	rootmeasure -out study.rgds [-seed 1] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/measure"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+)
+
+func main() {
+	out := flag.String("out", "study.rgds", "dataset output file")
+	seed := flag.Int64("seed", 1, "world seed (must match rootanalyze)")
+	scale := flag.Int("scale", 96, "schedule thinning factor")
+	vpScale := flag.Int("vpscale", 1, "VP population divisor (must match rootanalyze)")
+	tlds := flag.Int("tlds", 80, "synthesized root zone TLD count")
+	start := flag.String("start", "", "campaign start (YYYY-MM-DD)")
+	end := flag.String("end", "", "campaign end (YYYY-MM-DD)")
+	flag.Parse()
+
+	mCfg := measure.DefaultConfig()
+	mCfg.Seed, mCfg.Scale, mCfg.TLDCount = *seed, *scale, *tlds
+	if *start != "" {
+		t, err := time.Parse("2006-01-02", *start)
+		if err != nil {
+			fatal(err)
+		}
+		mCfg.Start = t
+	}
+	if *end != "" {
+		t, err := time.Parse("2006-01-02", *end)
+		if err != nil {
+			fatal(err)
+		}
+		mCfg.End = t
+	}
+	topoCfg := topology.DefaultConfig()
+	topoCfg.Seed = *seed
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Seed = *seed
+	vpCfg.Scale = *vpScale
+
+	world, err := measure.NewWorld(mCfg, topoCfg, vpCfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	writer, err := dataset.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	began := time.Now()
+	if err := measure.NewCampaign(mCfg, world).Run(writer); err != nil {
+		fatal(err)
+	}
+	if err := writer.Close(); err != nil {
+		fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("recorded %d probes and %d transfers from %d VPs in %s",
+		writer.Probes, writer.Transfers, len(world.Population.VPs),
+		time.Since(began).Round(time.Second))
+	if info != nil {
+		fmt.Printf(" (%d bytes, %.1f B/event)", info.Size(),
+			float64(info.Size())/float64(writer.Probes+writer.Transfers))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rootmeasure: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command rootserve serves a synthesized, signed root zone on real UDP and
+// TCP sockets: referrals, priming, DNSSEC answers, CHAOS identity, and AXFR.
+// It prints the trust anchor DS record so clients (rootdig, zonemdcheck) can
+// validate what they receive.
+//
+// Usage:
+//
+//	rootserve [-addr 127.0.0.1:5353] [-tlds 120] [-hostname id] [-no-axfr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnsserver"
+	"repro/internal/zone"
+	"repro/internal/zonemd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
+	tlds := flag.Int("tlds", 120, "number of TLD delegations to synthesize")
+	hostname := flag.String("hostname", "local1.root.example", "CHAOS hostname.bind/id.server answer")
+	version := flag.String("version", "repro-rootserve-1.0", "CHAOS version.bind answer")
+	noAXFR := flag.Bool("no-axfr", false, "refuse zone transfers")
+	useRSA := flag.Bool("rsa", false, "sign with RSA/SHA-256 (algorithm 8, like the real root) instead of ECDSA-P256")
+	flag.Parse()
+
+	var signer *dnssec.Signer
+	var err error
+	if *useRSA {
+		signer, err = dnssec.NewRSASigner(nil)
+	} else {
+		signer, err = dnssec.NewSigner(nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = *tlds
+	now := time.Now().UTC()
+	cfg.Serial = zone.SerialForDate(now.Year(), int(now.Month()), now.Day(), 0)
+	signed, err := signer.Sign(zone.SynthesizeRoot(cfg), now)
+	if err != nil {
+		fatal(err)
+	}
+	z, err := zonemd.AttachAndSign(signed, signer, zonemd.StateVerifiable, now)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := dnsserver.New(dnsserver.Config{
+		Zone:       z,
+		ExtraZones: []*zone.Zone{zone.SynthesizeRootServersNet(cfg.Serial, false)},
+		Identity:   dnsserver.Identity{Hostname: *hostname, Version: *version},
+		AllowAXFR:  !*noAXFR,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving root zone serial %d (%d records) on %s (udp+tcp)\n",
+		z.Serial(), len(z.Records), bound)
+	fmt.Printf("trust anchor: %s\n", signer.TrustAnchor())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	_ = srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rootserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command rootstudy runs the full reproduction study and prints every table
+// and figure of the paper.
+//
+// Usage:
+//
+//	rootstudy [-quick] [-seed N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/control"
+	"repro/internal/propagation"
+	"repro/internal/topology"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the fast smoke-test configuration")
+	extensions := flag.Bool("extensions", false, "also run the Appendix-E extensions (control group, per-second SOA propagation)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	scale := flag.Int("scale", 0, "measurement-schedule thinning factor (0 = config default)")
+	vpScale := flag.Int("vpscale", 0, "vantage-point population divisor (0 = config default)")
+	start := flag.String("start", "", "campaign start date (YYYY-MM-DD, default paper start)")
+	end := flag.String("end", "", "campaign end date (YYYY-MM-DD, default paper end)")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	if *quick {
+		cfg = repro.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *vpScale > 0 {
+		cfg.VPScale = *vpScale
+	}
+	if *start != "" {
+		t, err := time.Parse("2006-01-02", *start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rootstudy: bad -start: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Start = t
+	}
+	if *end != "" {
+		t, err := time.Parse("2006-01-02", *end)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rootstudy: bad -end: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.End = t
+	}
+
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootstudy: %v\n", err)
+		os.Exit(1)
+	}
+	began := time.Now()
+	if err := study.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rootstudy: campaign: %v\n", err)
+		os.Exit(1)
+	}
+	study.WriteReport(os.Stdout)
+
+	if *extensions {
+		fmt.Println("\n== Extensions (Appendix E future work) ==")
+		ctrlCfg := control.DefaultConfig()
+		ctrlCfg.Ticks = 100
+		exp := control.New(ctrlCfg, study.World.Topo, study.World.System, study.World.Population)
+		exp.Run("h", topology.IPv4).Write(os.Stdout)
+		fmt.Println()
+		prop := &propagation.Experiment{
+			Topo:       study.World.Topo,
+			System:     study.World.System,
+			Population: study.World.Population,
+			Models:     propagation.DefaultSyncModels(),
+			Window:     2 * time.Minute,
+			Seed:       cfg.Seed,
+		}
+		propagation.Write(os.Stdout, prop.Run(topology.IPv4))
+	}
+
+	fmt.Printf("\ncampaign wall time: %s\n", time.Since(began).Round(time.Millisecond))
+}

@@ -1,0 +1,87 @@
+// Colocation runs the RQ1 analysis standalone: place the 13 root
+// deployments on the topology, traceroute from every vantage point to every
+// letter in both families, and count how much last-hop infrastructure is
+// shared (reduced redundancy).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/rss"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+)
+
+func main() {
+	mCfg := measure.DefaultConfig()
+	mCfg.TLDCount = 20
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Scale = 4 // ~170 VPs
+
+	world, err := measure.NewWorld(mCfg, topology.DefaultConfig(), vpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A single day of measurement suffices: co-location is a property of
+	// routing, not time.
+	mCfg.Start = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+	mCfg.End = mCfg.Start.Add(24 * time.Hour)
+	mCfg.Scale = 8
+
+	col := analysis.NewColocation(world.Population)
+	if err := measure.NewCampaign(mCfg, world).Run(col); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Server co-location via shared second-to-last hops ==")
+	fmt.Printf("VPs observing co-location of >=2 root servers: %.1f%%\n",
+		col.ShareWithColocation()*100)
+	fmt.Printf("maximum reduced redundancy observed: %d (of 12 possible)\n\n",
+		col.MaxReducedRedundancy())
+
+	fmt.Println("reduced redundancy per continent (per-VP mean):")
+	for _, region := range geo.Regions() {
+		region := region
+		v4 := col.ReducedRedundancy(topology.IPv4, &region)
+		v6 := col.ReducedRedundancy(topology.IPv6, &region)
+		fmt.Printf("  %-14s avg(v4)=%.2f avg(v6)=%.2f  (n=%d)\n",
+			region, stats.Mean(v4), stats.Mean(v6), len(v4))
+	}
+
+	// Which facilities actually host many letters?
+	fmt.Println("\nmost co-located facilities:")
+	lettersAt := make(map[string]map[rss.Letter]bool)
+	for _, l := range rss.Letters() {
+		for _, s := range world.System.Deployments[l].Sites {
+			if lettersAt[s.Facility] == nil {
+				lettersAt[s.Facility] = make(map[rss.Letter]bool)
+			}
+			lettersAt[s.Facility][l] = true
+		}
+	}
+	type facLoad struct {
+		fac string
+		n   int
+	}
+	var loads []facLoad
+	for fac, ls := range lettersAt {
+		loads = append(loads, facLoad{fac, len(ls)})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].n != loads[j].n {
+			return loads[i].n > loads[j].n
+		}
+		return loads[i].fac < loads[j].fac
+	})
+	for _, fl := range loads[:min(8, len(loads))] {
+		fmt.Printf("  %-12s hosts %2d of 13 letters\n", fl.fac, fl.n)
+	}
+}

@@ -1,0 +1,101 @@
+// Localroot demonstrates the RFC 7706 scenario the paper's RQ3 motivates:
+// run an authoritative root server on loopback, pull the zone via AXFR,
+// fully validate it (DNSSEC + ZONEMD), then corrupt one bit in the local
+// copy and watch both validators catch it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnssec"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/faults"
+	"repro/internal/zone"
+	"repro/internal/zonemd"
+)
+
+func main() {
+	now := time.Now().UTC()
+
+	// Build and sign a root zone.
+	signer, err := dnssec.NewSigner(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zcfg := zone.DefaultRootConfig()
+	zcfg.TLDCount = 60
+	zcfg.Serial = zone.SerialForDate(now.Year(), int(now.Month()), now.Day(), 0)
+	signed, err := signer.Sign(zone.SynthesizeRoot(zcfg), now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := zonemd.AttachAndSign(signed, signer, zonemd.StateVerifiable, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anchor := signer.TrustAnchor().Data.(dnswire.DSRecord)
+
+	// Serve it on loopback (real UDP+TCP sockets).
+	srv, err := dnsserver.New(dnsserver.Config{
+		Zone:      served,
+		Identity:  dnsserver.Identity{Hostname: "loopback.local-root", Version: "repro-localroot"},
+		AllowAXFR: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("local root serving on %s (serial %d, %d records)\n",
+		addr, served.Serial(), len(served.Records))
+
+	// Priming query, like a resolver booting against the local root.
+	client := dnsclient.New(addr.String())
+	client.EDNSSize = 4096
+	resp, err := client.Query(dnswire.Root, dnswire.TypeNS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("priming: %d NS records, %d glue records\n",
+		len(resp.Answers), len(resp.Additional))
+
+	id, err := client.QueryChaosTXT(dnswire.MustName("id.server."))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("id.server: %s\n", id)
+
+	// Pull the zone and fully validate, as a local-root resolver must.
+	transferred, err := client.TransferZone()
+	if err != nil {
+		log.Fatal(err)
+	}
+	zErr, dErr := zonemd.FullValidation(transferred, anchor, now)
+	fmt.Printf("transferred %d records; ZONEMD err=%v, DNSSEC err=%v\n",
+		len(transferred.Records), zErr, dErr)
+	if zErr != nil || dErr != nil {
+		log.Fatal("clean transfer failed validation")
+	}
+
+	// Now corrupt one bit in the local copy (faulty RAM, the paper's
+	// Fig. 10 scenario) and validate again.
+	flip, ok := faults.FlipSignatureBit(transferred, rand.New(rand.NewSource(1)))
+	if !ok {
+		log.Fatal("no signature to flip")
+	}
+	fmt.Printf("flipped one bit in record %d\n", flip.RecordIndex)
+	zErr, dErr = zonemd.FullValidation(transferred, anchor, now)
+	fmt.Printf("after bitflip: ZONEMD err=%v, DNSSEC err=%v\n", zErr, dErr)
+	if zErr == nil && dErr == nil {
+		log.Fatal("bitflip went undetected")
+	}
+	fmt.Println("bitflip detected — a local root must revalidate before use")
+}

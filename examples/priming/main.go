@@ -1,0 +1,89 @@
+// Priming demonstrates the mechanism behind the paper's adoption findings:
+// after b.root's renumbering, a resolver that primes (RFC 8109) on startup
+// learns the new address immediately, while a legacy resolver keeps querying
+// the stale address from its hints file for years. Both resolvers run
+// against a real authoritative server on loopback.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/hints"
+	"repro/internal/resolver"
+	"repro/internal/rss"
+	"repro/internal/zone"
+)
+
+func main() {
+	now := time.Now().UTC()
+
+	// The post-renumbering root zone: b.root's glue carries the new address.
+	signer, err := dnssec.NewSigner(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zcfg := zone.DefaultRootConfig()
+	zcfg.TLDCount = 30
+	zcfg.Serial = zone.SerialForDate(now.Year(), int(now.Month()), now.Day(), 0)
+	signed, err := signer.Sign(zone.SynthesizeRoot(zcfg), now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := dnsserver.New(dnsserver.Config{Zone: signed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Every root service address (old and new) reaches the same anycast
+	// service — exactly the transition period, when both b.root prefixes
+	// were answering.
+	ex := &resolver.NetExchanger{AddrMap: map[netip.Addr]string{}, Timeout: 2 * time.Second}
+	for _, h := range hints.Default().Hints {
+		ex.AddrMap[h.V4] = addr.String()
+		ex.AddrMap[h.V6] = addr.String()
+	}
+	oldV4 := netip.MustParseAddr(rss.OldBv4)
+	oldV6 := netip.MustParseAddr(rss.OldBv6)
+	ex.AddrMap[oldV4] = addr.String()
+	ex.AddrMap[oldV6] = addr.String()
+
+	staleHints := hints.Default().WithOldB(oldV4, oldV6)
+	bHost := dnswire.MustName("b.root-servers.net.")
+
+	fmt.Println("== b.root renumbering: priming vs legacy resolver ==")
+	fmt.Printf("old b.root: %s   new b.root: %s\n\n", rss.OldBv4, "170.247.170.2")
+
+	// Legacy resolver: never primes; keeps the stale hints forever.
+	legacy := resolver.New(staleHints, ex)
+	if _, err := legacy.Resolve(dnswire.Root, dnswire.TypeNS); err != nil {
+		log.Fatal(err)
+	}
+	b, _ := legacy.Hints.Lookup(bHost)
+	fmt.Printf("legacy resolver after serving queries:  b.root = %s (still the OLD address)\n", b.V4)
+
+	// Priming resolver: refreshes hints on startup and learns the new
+	// address from the root zone's glue.
+	priming := resolver.New(staleHints, ex)
+	priming.PrimeOnStart = true
+	if _, err := priming.Resolve(dnswire.Root, dnswire.TypeNS); err != nil {
+		log.Fatal(err)
+	}
+	b, _ = priming.Hints.Lookup(bHost)
+	fmt.Printf("priming resolver after one startup:     b.root = %s (the NEW address)\n", b.V4)
+
+	fmt.Println("\nthis asymmetry is the paper's finding: 13 years after j.root's change")
+	fmt.Println("the old address still drew traffic, and ten years after d.root's change")
+	fmt.Println("b.root's old prefix keeps receiving queries from non-priming resolvers —")
+	fmt.Println("while IPv6-enabled (newer, priming) resolvers switch almost completely.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a small world, run a short campaign, and print the
+// headline numbers of the study — co-location share, site-stability medians,
+// and the b.root adoption ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/passive"
+	"repro/internal/topology"
+)
+
+func main() {
+	cfg := repro.QuickConfig()
+	// A three-week window around the b.root change keeps the run fast while
+	// touching the most interesting part of the timeline.
+	cfg.Start = time.Date(2023, 11, 20, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC)
+
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("vantage points: %d in %d networks\n",
+		len(study.World.Population.VPs), study.World.Population.Networks())
+
+	fmt.Printf("VPs observing co-location of >=2 root servers: %.0f%% (max %d)\n",
+		study.Colocation.ShareWithColocation()*100,
+		study.Colocation.MaxReducedRedundancy())
+
+	fmt.Printf("site changes per VP (median): b.root v4=%.0f v6=%.0f, g.root v4=%.0f v6=%.0f\n",
+		study.Stability.MedianChanges("b", topology.IPv4, false),
+		study.Stability.MedianChanges("b", topology.IPv6, false),
+		study.Stability.MedianChanges("g", topology.IPv4, false),
+		study.Stability.MedianChanges("g", topology.IPv6, false))
+
+	w2 := passive.ISPWindow2
+	fmt.Printf("ISP in-family shift to new b.root: v4=%.1f%% v6=%.1f%%\n",
+		study.Traffic.ISP.ShiftRatio(topology.IPv4, w2[0], w2[1])*100,
+		study.Traffic.ISP.ShiftRatio(topology.IPv6, w2[0], w2[1])*100)
+
+	fmt.Printf("transfers validated: %d (%d failures)\n",
+		study.Integrity.Transfers, study.Integrity.Failures)
+}

@@ -1,0 +1,71 @@
+// Renumbering replays the b.root address change through the passive
+// ISP and IXP models: the traffic mix the day before the change, the
+// post-change adoption per address family, the regional difference between
+// European and North American exchanges, and the once-a-day priming
+// contacts that keep trickling to the old prefix.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/passive"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	traffic := analysis.NewTraffic(3000, 42)
+
+	fmt.Println("== b.root renumbering (2023-11-27), passive perspective ==")
+
+	// The day before the change: old prefixes dominate; the new prefix is
+	// already operational and draws a sliver of traffic.
+	pre := passive.ISPPreDay
+	series := traffic.ISP.TrafficSeries(pre, pre.Add(24*time.Hour), passive.BTargets())
+	var total float64
+	for _, s := range series {
+		total += s.Total()
+	}
+	fmt.Println("\nISP, 2023-10-08 (pre-change) b.root traffic mix:")
+	for _, s := range series {
+		label := fam(s.Target.Family)
+		if s.Target.Old {
+			label += " old"
+		} else {
+			label += " new"
+		}
+		fmt.Printf("  %-8s %5.1f%%\n", label, s.Total()/total*100)
+	}
+
+	// Post-change adoption at the ISP.
+	w := passive.ISPWindow2
+	fmt.Println("\nISP, 2024-02 window, in-family shift to the new prefix:")
+	for _, f := range topology.Families() {
+		fmt.Printf("  %s: %.1f%%\n", f, traffic.ISP.ShiftRatio(f, w[0], w[1])*100)
+	}
+
+	// Regional IXP difference on IPv6.
+	start := passive.BRootChange.Add(72 * time.Hour)
+	end := passive.IXPWindow1[1]
+	fmt.Println("\nIXPs, IPv6 traffic shifted to the new prefix (Dec 2023):")
+	fmt.Printf("  Europe:        %.1f%%\n", traffic.IXPEU.ShiftRatio(topology.IPv6, start, end)*100)
+	fmt.Printf("  North America: %.1f%%\n", traffic.IXPNA.ShiftRatio(topology.IPv6, start, end)*100)
+
+	// The priming signature: old-v6 clients touch the prefix ~once a day.
+	day := w[0]
+	oldAct := traffic.ISP.ClientDayActivity(passive.Target{Letter: "b", Family: topology.IPv6, Old: true}, day)
+	newAct := traffic.ISP.ClientDayActivity(passive.Target{Letter: "b", Family: topology.IPv6}, day)
+	fmt.Println("\nPer-client flows/day to b.root IPv6 prefixes (post-change):")
+	fmt.Printf("  old prefix: %s\n", stats.Summarize(oldAct))
+	fmt.Printf("  new prefix: %s\n", stats.Summarize(newAct))
+	fmt.Println("the old prefix's median near 1/day is the RFC 8109 priming pattern")
+}
+
+func fam(f topology.Family) string {
+	if f == topology.IPv4 {
+		return "V4"
+	}
+	return "V6"
+}

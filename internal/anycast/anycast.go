@@ -1,0 +1,351 @@
+// Package anycast models anycast deployments of the root servers: sites
+// (global or local), their hosting ASes and facilities, catchment
+// computation over the policy-routed topology, and per-deployment route
+// stability. Facilities are shared across deployments — several letters
+// hosting instances at the same exchange reuse the same last-hop
+// infrastructure, which is exactly the reduced redundancy the paper's RQ1
+// quantifies.
+package anycast
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+// SiteKind is the announcement scope of a site.
+type SiteKind int
+
+// Site kinds.
+const (
+	Global SiteKind = iota
+	Local
+)
+
+// String returns "global" or "local".
+func (k SiteKind) String() string {
+	if k == Global {
+		return "global"
+	}
+	return "local"
+}
+
+// Site is one anycast instance location.
+type Site struct {
+	// ID is the site identifier, e.g. "b-lax1". Unique within a deployment.
+	ID string
+	// Kind is the announcement scope.
+	Kind SiteKind
+	// City locates the site.
+	City geo.City
+	// HostASN is the AS announcing the prefix from this site.
+	HostASN int
+	// Facility identifies the physical interconnection point (IXP fabric or
+	// data center). Sites of different deployments sharing a facility share
+	// last-hop infrastructure.
+	Facility string
+	// Identifier is what the site reports via hostname.bind/id.server.
+	// Empty when the deployment does not expose mappable identifiers.
+	Identifier string
+}
+
+// Deployment is one anycast service: a letter's set of sites.
+type Deployment struct {
+	// Name labels the deployment (e.g. "b" for b.root).
+	Name  string
+	Sites []Site
+	// InstabilityV4/V6 are per-interval probabilities that a client's
+	// best-path tie-break re-rolls (route flap), producing site changes.
+	// Calibrated per letter from the paper's Fig. 3 medians.
+	InstabilityV4, InstabilityV6 float64
+}
+
+// SiteByID returns the site with the given ID.
+func (d *Deployment) SiteByID(id string) (Site, bool) {
+	for _, s := range d.Sites {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// GlobalSites returns the deployment's global sites.
+func (d *Deployment) GlobalSites() []Site {
+	var out []Site
+	for _, s := range d.Sites {
+		if s.Kind == Global {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Origins converts the deployment's sites into routing origins.
+func (d *Deployment) Origins() []topology.Origin {
+	out := make([]topology.Origin, len(d.Sites))
+	for i, s := range d.Sites {
+		out[i] = topology.Origin{SiteID: s.ID, ASN: s.HostASN, Local: s.Kind == Local}
+	}
+	return out
+}
+
+// Catchment maps client ASes to the deployment site their traffic reaches
+// in one family, with alternates for churn modeling.
+type Catchment struct {
+	Deployment *Deployment
+	Family     topology.Family
+	table      *topology.RoutingTable
+}
+
+// ComputeCatchment resolves the deployment's catchment over topo for f.
+func ComputeCatchment(topo *topology.Topology, d *Deployment, f topology.Family) *Catchment {
+	return &Catchment{
+		Deployment: d,
+		Family:     f,
+		table:      topo.ComputeRoutes(d.Origins(), f),
+	}
+}
+
+// Route returns the best route from asn, if it has one.
+func (c *Catchment) Route(asn int) (topology.Route, bool) { return c.table.Best(asn) }
+
+// Site returns the site serving asn, if reachable.
+func (c *Catchment) Site(asn int) (Site, bool) {
+	r, ok := c.table.Best(asn)
+	if !ok {
+		return Site{}, false
+	}
+	return c.Deployment.SiteByID(r.Origin.SiteID)
+}
+
+// Alternates returns the candidate routes from asn, best first.
+func (c *Catchment) Alternates(asn int) []topology.Route { return c.table.Alternates(asn) }
+
+// SelectAt returns the route asn uses at measurement interval tick, modeling
+// route flaps: with the deployment's per-family instability probability the
+// client re-rolls its tie-break among near-equal alternates. The selection
+// is deterministic in (asn, tick, seed). scale is the measurement schedule's
+// thinning factor: the per-interval flap probability compounds over the
+// skipped intervals (1-(1-p)^scale), so observed change counts stay
+// comparable to the paper's full-fidelity schedule.
+func (c *Catchment) SelectAt(asn, tick int, seed int64, scale int) (topology.Route, bool) {
+	alts := c.table.Alternates(asn)
+	if len(alts) == 0 {
+		return topology.Route{}, false
+	}
+	instability := c.Deployment.InstabilityV4
+	if c.Family == topology.IPv6 {
+		instability = c.Deployment.InstabilityV6
+	}
+	if scale > 1 && instability > 0 {
+		instability = 1 - pow1p(1-instability, scale)
+	}
+	if len(alts) == 1 || instability == 0 {
+		return alts[0], true
+	}
+	// Near-equal alternates: same relationship class and path length within
+	// one hop of the best.
+	usable := alts[:1]
+	for _, a := range alts[1:] {
+		if a.Hops() <= alts[0].Hops()+1 {
+			usable = append(usable, a)
+		} else {
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(asn)<<20 ^ int64(tick)))
+	if rng.Float64() >= instability {
+		// Stable interval: the best route carries the traffic.
+		return usable[0], true
+	}
+	// Transient flap: the tie-break re-rolls among near-equal alternates
+	// for this interval; the following stable interval returns to the best
+	// route, so one flap surfaces as up to two observed site changes.
+	return usable[rng.Intn(len(usable))], true
+}
+
+// pow1p computes base^n for small integer n without importing math.
+func pow1p(base float64, n int) float64 {
+	out := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			out *= base
+		}
+		base *= base
+	}
+	return out
+}
+
+// Builder assigns sites to facilities and ASes.
+type Builder struct {
+	Topo *topology.Topology
+	Rng  *rand.Rand
+	// facilityLoad tracks preferential attachment: busy facilities attract
+	// more deployments, creating the co-location the paper observes.
+	facilityLoad map[string]int
+	// facilityCity remembers each facility's metro.
+	facilityCity map[string]geo.City
+	// hostFor remembers which AS hosts each facility.
+	hostFor map[string]int
+	// siteSeq numbers sites per (letter, metro) so IDs stay unique across
+	// PlaceSites calls.
+	siteSeq map[string]int
+}
+
+// NewBuilder creates a site builder over topo with a deterministic rng.
+func NewBuilder(topo *topology.Topology, seed int64) *Builder {
+	return &Builder{
+		Topo:         topo,
+		Rng:          rand.New(rand.NewSource(seed)),
+		facilityLoad: make(map[string]int),
+		facilityCity: make(map[string]geo.City),
+		hostFor:      make(map[string]int),
+		siteSeq:      make(map[string]int),
+	}
+}
+
+// PlaceSites creates n sites of the given kind for deployment letter in
+// region, preferring established facilities (co-location pressure).
+func (b *Builder) PlaceSites(letter string, kind SiteKind, region geo.Region, n int) []Site {
+	cities := geo.CitiesIn(region)
+	sites := make([]Site, 0, n)
+	for i := 0; i < n; i++ {
+		city := b.pickCity(cities)
+		fac, host := b.pickFacility(letter, city, kind)
+		seqKey := letter + city.IATA
+		b.siteSeq[seqKey]++
+		id := fmt.Sprintf("%s-%s%d", letter, lower(city.IATA), b.siteSeq[seqKey])
+		sites = append(sites, Site{
+			ID:         id,
+			Kind:       kind,
+			City:       city,
+			HostASN:    host,
+			Facility:   fac,
+			Identifier: id,
+		})
+		b.facilityLoad[fac]++
+	}
+	return sites
+}
+
+// interconnectionHubs are the metros where deployments concentrate; sites
+// land there several times more often than in other metros, producing the
+// very-high co-location a minority of clients observes (paper: up to 12).
+var interconnectionHubs = map[string]bool{
+	"FRA": true, "AMS": true, "LHR": true,
+	"IAD": true, "SJC": true, "MIA": true,
+	"NRT": true, "SIN": true, "HKG": true,
+	"GRU": true, "JNB": true, "SYD": true,
+}
+
+// pickCity draws a metro with hub weighting.
+func (b *Builder) pickCity(cities []geo.City) geo.City {
+	const hubWeight = 6
+	total := 0
+	for _, c := range cities {
+		if interconnectionHubs[c.IATA] {
+			total += hubWeight
+		} else {
+			total++
+		}
+	}
+	pick := b.Rng.Intn(total)
+	for _, c := range cities {
+		w := 1
+		if interconnectionHubs[c.IATA] {
+			w = hubWeight
+		}
+		if pick < w {
+			return c
+		}
+		pick -= w
+	}
+	return cities[len(cities)-1]
+}
+
+// pickFacility chooses (or creates) a facility in city. Global sites land
+// on the metro IXP fabric (shared across operators — the co-location the
+// paper measures) about half the time, in an operator-specific facility
+// otherwise; local sites are mostly AS-local inside an operator facility.
+// The mix is calibrated so roughly 70% of VPs observe co-location (§5).
+func (b *Builder) pickFacility(letter string, city geo.City, kind SiteKind) (string, int) {
+	ixProb := 0.5
+	if kind == Local {
+		ixProb = 0.25
+	}
+	if ix, ok := b.Topo.IXPAt(city.IATA); ok && len(ix.Members) > 0 && b.Rng.Float64() < ixProb {
+		fac := ix.Name
+		host := b.hostFor[fac]
+		if host == 0 {
+			host = ix.Members[b.Rng.Intn(len(ix.Members))]
+			b.hostFor[fac] = host
+		}
+		b.facilityCity[fac] = city
+		return fac, host
+	}
+	// Otherwise an operator facility in the metro, hosted by a regional AS.
+	// Operator facilities are letter-specific most of the time; a minority
+	// are shared carrier-neutral data centers.
+	region := city.Region
+	stubs := b.Topo.StubASNs(&region)
+	var host int
+	if len(stubs) > 0 {
+		host = stubs[b.Rng.Intn(len(stubs))]
+	} else {
+		host = topology.ASNOpenV6
+	}
+	var fac string
+	if b.Rng.Float64() < 0.8 {
+		fac = fmt.Sprintf("OP-%s-%s-%d", letter, city.IATA, 1+b.Rng.Intn(3))
+	} else {
+		fac = fmt.Sprintf("DC-%s-%d", city.IATA, 1+b.Rng.Intn(4))
+	}
+	if prev, ok := b.hostFor[fac]; ok {
+		host = prev
+	} else {
+		b.hostFor[fac] = host
+	}
+	b.facilityCity[fac] = city
+	return fac, host
+}
+
+// FacilityCity returns the metro of a facility created by this builder.
+func (b *Builder) FacilityCity(fac string) (geo.City, bool) {
+	c, ok := b.facilityCity[fac]
+	return c, ok
+}
+
+// FacilityLoads returns facility→deployment-site counts, sorted by name.
+func (b *Builder) FacilityLoads() []struct {
+	Facility string
+	Sites    int
+} {
+	names := make([]string, 0, len(b.facilityLoad))
+	for f := range b.facilityLoad {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Facility string
+		Sites    int
+	}, len(names))
+	for i, f := range names {
+		out[i].Facility = f
+		out[i].Sites = b.facilityLoad[f]
+	}
+	return out
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,178 @@
+package anycast
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+func testTopo() *topology.Topology {
+	cfg := topology.Config{
+		Seed: 5,
+		StubsPerRegion: map[geo.Region]int{
+			geo.Africa: 4, geo.Asia: 8, geo.Europe: 25,
+			geo.NorthAmerica: 12, geo.SouthAmerica: 5, geo.Oceania: 5,
+		},
+		Tier2PerRegion: map[geo.Region]int{
+			geo.Africa: 2, geo.Asia: 3, geo.Europe: 5,
+			geo.NorthAmerica: 3, geo.SouthAmerica: 2, geo.Oceania: 2,
+		},
+	}
+	return topology.Build(cfg)
+}
+
+func testDeployment(topo *topology.Topology) *Deployment {
+	b := NewBuilder(topo, 1)
+	d := &Deployment{Name: "x", InstabilityV4: 0.05, InstabilityV6: 0.10}
+	d.Sites = append(d.Sites, b.PlaceSites("x", Global, geo.Europe, 4)...)
+	d.Sites = append(d.Sites, b.PlaceSites("x", Global, geo.NorthAmerica, 3)...)
+	d.Sites = append(d.Sites, b.PlaceSites("x", Local, geo.Europe, 2)...)
+	return d
+}
+
+func TestPlaceSites(t *testing.T) {
+	topo := testTopo()
+	d := testDeployment(topo)
+	if len(d.Sites) != 9 {
+		t.Fatalf("placed %d sites", len(d.Sites))
+	}
+	if len(d.GlobalSites()) != 7 {
+		t.Errorf("global sites = %d", len(d.GlobalSites()))
+	}
+	ids := map[string]bool{}
+	for _, s := range d.Sites {
+		if ids[s.ID] {
+			t.Errorf("duplicate site ID %s", s.ID)
+		}
+		ids[s.ID] = true
+		if s.HostASN == 0 || s.Facility == "" {
+			t.Errorf("incomplete site %+v", s)
+		}
+	}
+	if _, ok := d.SiteByID(d.Sites[0].ID); !ok {
+		t.Error("SiteByID failed")
+	}
+	if _, ok := d.SiteByID("nope"); ok {
+		t.Error("SiteByID found a ghost")
+	}
+}
+
+func TestCatchmentResolves(t *testing.T) {
+	topo := testTopo()
+	d := testDeployment(topo)
+	c := ComputeCatchment(topo, d, topology.IPv4)
+	stubs := topo.StubASNs(nil)
+	resolved := 0
+	for _, asn := range stubs {
+		if site, ok := c.Site(asn); ok {
+			resolved++
+			if _, found := d.SiteByID(site.ID); !found {
+				t.Errorf("catchment returned unknown site %s", site.ID)
+			}
+		}
+	}
+	if resolved*100 < len(stubs)*90 {
+		t.Errorf("catchment resolves %d/%d stubs", resolved, len(stubs))
+	}
+}
+
+func TestSelectAtDeterministic(t *testing.T) {
+	topo := testTopo()
+	d := testDeployment(topo)
+	c := ComputeCatchment(topo, d, topology.IPv4)
+	asn := topo.StubASNs(nil)[0]
+	r1, ok1 := c.SelectAt(asn, 7, 42, 1)
+	r2, ok2 := c.SelectAt(asn, 7, 42, 1)
+	if ok1 != ok2 || r1.Origin.SiteID != r2.Origin.SiteID {
+		t.Error("SelectAt not deterministic")
+	}
+}
+
+func TestSelectAtProducesChanges(t *testing.T) {
+	topo := testTopo()
+	d := testDeployment(topo)
+	d.InstabilityV4 = 0.5 // aggressively flappy for the test
+	c := ComputeCatchment(topo, d, topology.IPv4)
+	// Find a stub with at least two near-equal alternates.
+	var asn int
+	for _, s := range topo.StubASNs(nil) {
+		alts := c.Alternates(s)
+		if len(alts) >= 2 && alts[1].Hops() <= alts[0].Hops()+1 {
+			asn = s
+			break
+		}
+	}
+	if asn == 0 {
+		t.Skip("no stub with near-equal alternates in this topology")
+	}
+	seen := map[string]bool{}
+	for tick := 0; tick < 200; tick++ {
+		r, ok := c.SelectAt(asn, tick, 1, 1)
+		if !ok {
+			t.Fatal("unroutable")
+		}
+		seen[r.Origin.SiteID] = true
+	}
+	if len(seen) < 2 {
+		t.Error("high instability produced no site changes")
+	}
+}
+
+func TestStableDeploymentRarelyChanges(t *testing.T) {
+	topo := testTopo()
+	d := testDeployment(topo)
+	d.InstabilityV4 = 0 // fully stable
+	c := ComputeCatchment(topo, d, topology.IPv4)
+	for _, asn := range topo.StubASNs(nil)[:10] {
+		var first string
+		for tick := 0; tick < 50; tick++ {
+			r, ok := c.SelectAt(asn, tick, 9, 1)
+			if !ok {
+				break
+			}
+			if tick == 0 {
+				first = r.Origin.SiteID
+			} else if r.Origin.SiteID != first {
+				t.Fatalf("zero-instability deployment changed site for %d", asn)
+			}
+		}
+	}
+}
+
+func TestFacilitySharing(t *testing.T) {
+	// Use the full-size topology so the European exchanges have members:
+	// with letter-specific operator facilities, sharing happens at IXPs.
+	topo := topology.Build(topology.DefaultConfig())
+	b := NewBuilder(topo, 1)
+	// Two deployments in the same region share facilities often.
+	d1 := b.PlaceSites("p", Global, geo.Europe, 25)
+	d2 := b.PlaceSites("q", Global, geo.Europe, 25)
+	fac1 := map[string]bool{}
+	for _, s := range d1 {
+		fac1[s.Facility] = true
+	}
+	shared := 0
+	for _, s := range d2 {
+		if fac1[s.Facility] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no facility sharing between co-regional deployments")
+	}
+	if len(b.FacilityLoads()) == 0 {
+		t.Error("no facility loads recorded")
+	}
+	for _, fl := range b.FacilityLoads() {
+		if _, ok := b.FacilityCity(fl.Facility); !ok {
+			t.Errorf("facility %s has no city", fl.Facility)
+		}
+	}
+}
+
+func TestSiteKindString(t *testing.T) {
+	if Global.String() != "global" || Local.String() != "local" {
+		t.Error("SiteKind strings")
+	}
+}

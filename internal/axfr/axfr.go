@@ -1,0 +1,184 @@
+// Package axfr implements DNS zone transfers (RFC 5936) over TCP with the
+// standard 2-octet length framing (RFC 1035 §4.2.2). It provides both the
+// serving side (splitting a zone into response messages) and the client side
+// (requesting, reassembling, and SOA-bracket-checking a transfer), as used
+// by the measurement battery's `dig AXFR .` step.
+package axfr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// Transfer errors.
+var (
+	ErrNotBracketed = errors.New("axfr: transfer not bracketed by SOA records")
+	ErrRefused      = errors.New("axfr: transfer refused")
+	ErrEmpty        = errors.New("axfr: empty transfer")
+)
+
+// MaxMessageBytes is the soft per-message payload budget when serving a
+// transfer. Real servers pack close to 64 KiB; a smaller default exercises
+// multi-message reassembly even for small test zones.
+const MaxMessageBytes = 16 * 1024
+
+// WriteMessage writes one DNS message with the TCP length prefix.
+func WriteMessage(w io.Writer, m *dnswire.Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return fmt.Errorf("axfr: message of %d bytes exceeds TCP frame limit", len(wire))
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(len(wire)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// ReadMessage reads one length-prefixed DNS message.
+func ReadMessage(r io.Reader) (*dnswire.Message, error) {
+	var prefix [2]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	wire := make([]byte, binary.BigEndian.Uint16(prefix[:]))
+	if _, err := io.ReadFull(r, wire); err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(wire)
+}
+
+// ResponseMessages splits z into AXFR response messages answering query id:
+// the zone's records with the SOA first and repeated last, chunked so each
+// message stays under MaxMessageBytes.
+func ResponseMessages(z *zone.Zone, id uint16, question dnswire.Question) ([]*dnswire.Message, error) {
+	soa, ok := z.SOA()
+	if !ok {
+		return nil, errors.New("axfr: zone has no SOA")
+	}
+	// Stream order: SOA, all non-SOA records, SOA again.
+	records := make([]dnswire.RR, 0, len(z.Records)+1)
+	records = append(records, soa)
+	for _, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == z.Apex.Canonical() {
+			continue
+		}
+		records = append(records, rr)
+	}
+	records = append(records, soa)
+
+	newMsg := func(withQuestion bool) *dnswire.Message {
+		m := &dnswire.Message{Header: dnswire.Header{
+			ID: id, Response: true, Authoritative: true,
+		}}
+		if withQuestion {
+			m.Questions = []dnswire.Question{question}
+		}
+		return m
+	}
+
+	var msgs []*dnswire.Message
+	cur := newMsg(true)
+	curBytes := 0
+	for _, rr := range records {
+		rrBytes := estimateRRSize(rr)
+		if curBytes > 0 && curBytes+rrBytes > MaxMessageBytes {
+			msgs = append(msgs, cur)
+			cur = newMsg(false)
+			curBytes = 0
+		}
+		cur.Answers = append(cur.Answers, rr)
+		curBytes += rrBytes
+	}
+	if len(cur.Answers) > 0 {
+		msgs = append(msgs, cur)
+	}
+	return msgs, nil
+}
+
+// estimateRRSize upper-bounds the packed size of rr without compression.
+func estimateRRSize(rr dnswire.RR) int {
+	return len(dnswire.AppendCanonicalRR(nil, rr, rr.TTL)) + 16
+}
+
+// Serve writes a full AXFR response for z to w, answering the given query
+// message. It is the serving half used by the dnsserver package's TCP path.
+func Serve(w io.Writer, z *zone.Zone, query *dnswire.Message) error {
+	if len(query.Questions) != 1 {
+		return errors.New("axfr: query must have exactly one question")
+	}
+	msgs, err := ResponseMessages(z, query.Header.ID, query.Questions[0])
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Refuse writes a REFUSED response to an AXFR query, as root servers that do
+// not offer transfers on an address would.
+func Refuse(w io.Writer, query *dnswire.Message) error {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID: query.Header.ID, Response: true, Rcode: dnswire.RcodeRefused,
+		},
+		Questions: query.Questions,
+	}
+	return WriteMessage(w, resp)
+}
+
+// Receive reads AXFR response messages from r until the transfer is complete
+// (the SOA record appears a second time) and reassembles the zone. It
+// enforces the SOA bracket and matching message IDs.
+func Receive(r io.Reader, id uint16) (*zone.Zone, error) {
+	var records []dnswire.RR
+	soaSeen := 0
+	for soaSeen < 2 {
+		m, err := ReadMessage(r)
+		if err != nil {
+			return nil, fmt.Errorf("axfr: read: %w", err)
+		}
+		if m.Header.ID != id {
+			return nil, fmt.Errorf("axfr: response ID %d does not match query ID %d", m.Header.ID, id)
+		}
+		if m.Header.Rcode == dnswire.RcodeRefused {
+			return nil, ErrRefused
+		}
+		if m.Header.Rcode != dnswire.RcodeNoError {
+			return nil, fmt.Errorf("axfr: server returned %s", m.Header.Rcode)
+		}
+		if len(m.Answers) == 0 {
+			return nil, ErrEmpty
+		}
+		for _, rr := range m.Answers {
+			if rr.Type() == dnswire.TypeSOA {
+				soaSeen++
+				if soaSeen == 2 {
+					break
+				}
+			}
+			records = append(records, rr)
+		}
+	}
+	if soaSeen != 2 || len(records) == 0 || records[0].Type() != dnswire.TypeSOA {
+		return nil, ErrNotBracketed
+	}
+	apex := records[0].Name
+	z := zone.New(apex)
+	z.Add(records...)
+	return z, nil
+}

@@ -1,0 +1,195 @@
+package axfr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+func testZone(t *testing.T, tlds int) *zone.Zone {
+	t.Helper()
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = tlds
+	return zone.SynthesizeRoot(cfg)
+}
+
+func axfrQuery(id uint16) *dnswire.Message {
+	return &dnswire.Message{
+		Header: dnswire.Header{ID: id},
+		Questions: []dnswire.Question{{
+			Name: dnswire.Root, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET,
+		}},
+	}
+}
+
+func TestServeReceiveRoundTrip(t *testing.T) {
+	z := testZone(t, 40).Canonicalize()
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(99)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Receive(&buf, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Canonicalize()
+	if len(got.Records) != len(z.Records) {
+		t.Fatalf("received %d records, want %d", len(got.Records), len(z.Records))
+	}
+	for i := range z.Records {
+		if got.Records[i].String() != z.Records[i].String() {
+			t.Errorf("record %d mismatch:\n got %s\nwant %s",
+				i, got.Records[i], z.Records[i])
+		}
+	}
+	if got.Serial() != z.Serial() {
+		t.Errorf("serial %d, want %d", got.Serial(), z.Serial())
+	}
+}
+
+func TestMultiMessageTransfer(t *testing.T) {
+	z := testZone(t, 200) // large enough to exceed one MaxMessageBytes chunk
+	msgs, err := ResponseMessages(z, 1, axfrQuery(1).Questions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("expected multi-message transfer, got %d message(s)", len(msgs))
+	}
+	// Only the first message carries the question.
+	if len(msgs[0].Questions) != 1 {
+		t.Error("first message missing question")
+	}
+	for i, m := range msgs[1:] {
+		if len(m.Questions) != 0 {
+			t.Errorf("message %d carries a question", i+1)
+		}
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Receive(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(z.Records) {
+		t.Errorf("received %d records, want %d", len(got.Records), len(z.Records))
+	}
+}
+
+func TestReceiveChecksID(t *testing.T) {
+	z := testZone(t, 5)
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Receive(&buf, 2); err == nil {
+		t.Error("mismatched ID accepted")
+	}
+}
+
+func TestReceiveRefused(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Refuse(&buf, axfrQuery(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Receive(&buf, 5); !errors.Is(err, ErrRefused) {
+		t.Errorf("got %v, want ErrRefused", err)
+	}
+}
+
+func TestReceiveTruncatedStream(t *testing.T) {
+	z := testZone(t, 40)
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 2, 10, len(full) / 2, len(full) - 3} {
+		if _, err := Receive(bytes.NewReader(full[:cut]), 1); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReceiveMissingBracket(t *testing.T) {
+	// A message stream whose first record is not a SOA must be rejected.
+	m := &dnswire.Message{
+		Header: dnswire.Header{ID: 3, Response: true},
+		Answers: []dnswire.RR{
+			{Name: dnswire.Root, Class: dnswire.ClassINET, TTL: 1,
+				Data: dnswire.NSRecord{Host: dnswire.MustName("a.root-servers.net.")}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Receive(&buf, 3)
+	if err == nil {
+		t.Fatal("unbracketed transfer accepted")
+	}
+}
+
+func TestWriteReadMessage(t *testing.T) {
+	m := dnswire.NewQuery(77, dnswire.Root, dnswire.TypeSOA)
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 77 || got.Questions[0].Type != dnswire.TypeSOA {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF after single message, got %v", err)
+	}
+}
+
+func TestTransferOverRealTCP(t *testing.T) {
+	z := testZone(t, 60).Canonicalize()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		q, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		_ = Serve(conn, z, q)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(conn, axfrQuery(321)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Receive(conn, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Canonicalize().String() != z.String() {
+		t.Error("zone transferred over TCP differs from source")
+	}
+}

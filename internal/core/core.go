@@ -1,0 +1,211 @@
+// Package core orchestrates the full study: it builds the simulated world
+// (topology, root server system, vantage points, signed root zone), runs the
+// NLNOG-DNS-1-style active campaign with every analysis attached, runs the
+// passive ISP/IXP models, and bundles the results into a Report that can
+// render every table and figure of the paper.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/rss"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Scale thins the measurement schedule (1 = the paper's 30/15-minute
+	// cadence; the default keeps runtime in benchmark range).
+	Scale int
+	// VPScale divides the 675-VP population.
+	VPScale int
+	// TLDCount sizes the synthesized root zone.
+	TLDCount int
+	// PassiveClients sizes each passive vantage's resolver population.
+	PassiveClients int
+	// Start and End override the paper's campaign window when non-zero.
+	Start, End time.Time
+}
+
+// DefaultConfig runs the full VP population on a heavily thinned schedule —
+// the shape-preserving configuration the benchmarks use.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Scale:          96,
+		VPScale:        1,
+		TLDCount:       80,
+		PassiveClients: 2000,
+	}
+}
+
+// QuickConfig is a fast smoke-test configuration.
+func QuickConfig() Config {
+	return Config{
+		Seed:           1,
+		Scale:          512,
+		VPScale:        10,
+		TLDCount:       20,
+		PassiveClients: 500,
+	}
+}
+
+// Study is a configured, runnable reproduction.
+type Study struct {
+	Cfg   Config
+	World *measure.World
+
+	Coverage   *analysis.Coverage
+	Stability  *analysis.Stability
+	Colocation *analysis.Colocation
+	Distance   *analysis.Distance
+	RTT        *analysis.RTT
+	Integrity  *analysis.Integrity
+	Traffic    *analysis.Traffic
+
+	// WireQueries and WireFailures report the campaign's built-in
+	// end-to-end self-check (the Appendix-F battery run through a real
+	// server once per measurement round).
+	WireQueries  int
+	WireFailures []string
+}
+
+// NewStudy builds the world and wires all analyses.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.VPScale < 1 {
+		cfg.VPScale = 1
+	}
+	mCfg := measure.DefaultConfig()
+	mCfg.Seed = cfg.Seed
+	mCfg.Scale = cfg.Scale
+	mCfg.TLDCount = cfg.TLDCount
+	topoCfg := topology.DefaultConfig()
+	topoCfg.Seed = cfg.Seed
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Seed = cfg.Seed
+	vpCfg.Scale = cfg.VPScale
+
+	w, err := measure.NewWorld(mCfg, topoCfg, vpCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	return &Study{
+		Cfg:        cfg,
+		World:      w,
+		Coverage:   analysis.NewCoverage(w.System),
+		Stability:  analysis.NewStability(),
+		Colocation: analysis.NewColocation(w.Population),
+		Distance:   analysis.NewDistance(w.System, w.Population),
+		RTT:        analysis.NewRTT(),
+		Integrity:  analysis.NewIntegrity(),
+		Traffic:    analysis.NewTraffic(cfg.PassiveClients, cfg.Seed),
+	}, nil
+}
+
+// Run executes the active campaign (streaming into all analyses); the
+// passive models are computed lazily by their figure writers.
+func (s *Study) Run() error {
+	mCfg := measure.DefaultConfig()
+	mCfg.Seed = s.Cfg.Seed
+	mCfg.Scale = s.Cfg.Scale
+	mCfg.TLDCount = s.Cfg.TLDCount
+	mCfg.WireCheck = true
+	if !s.Cfg.Start.IsZero() {
+		mCfg.Start = s.Cfg.Start
+	}
+	if !s.Cfg.End.IsZero() {
+		mCfg.End = s.Cfg.End
+	}
+	campaign := measure.NewCampaign(mCfg, s.World)
+	err := campaign.Run(s.Coverage, s.Stability, s.Colocation, s.Distance, s.RTT, s.Integrity)
+	s.WireQueries = campaign.WireQueries
+	s.WireFailures = campaign.WireFailures
+	if err == nil && len(s.WireFailures) > 0 {
+		return fmt.Errorf("core: %d wire-check failures (first: %s)",
+			len(s.WireFailures), s.WireFailures[0])
+	}
+	return err
+}
+
+// WriteReport renders every table and figure to w, in paper order.
+func (s *Study) WriteReport(w io.Writer) {
+	fmt.Fprintln(w, "== The Roots Go Deep: reproduction report ==")
+	fmt.Fprintf(w, "seed=%d scale=%d vps=%d networks=%d countries=%d\n",
+		s.Cfg.Seed, s.Cfg.Scale, len(s.World.Population.VPs),
+		s.World.Population.Networks(), s.World.Population.Countries())
+	fmt.Fprintf(w, "wire self-check: %d queries, %d failures\n\n",
+		s.WireQueries, len(s.WireFailures))
+
+	s.WriteTable3(w)
+	fmt.Fprintln(w)
+	s.Coverage.WriteTable1(w)
+	fmt.Fprintln(w)
+	s.Coverage.WriteTable4(w)
+	fmt.Fprintln(w)
+	s.Coverage.Figure11(w)
+	fmt.Fprintln(w)
+	s.Coverage.WriteValidation(w)
+	fmt.Fprintln(w)
+	s.Stability.WriteFigure3(w)
+	fmt.Fprintln(w)
+	s.Colocation.WriteFigure4(w)
+	fmt.Fprintln(w)
+	s.Distance.WriteFigure5(w)
+	fmt.Fprintln(w)
+	s.RTT.WriteFigure6(w)
+	fmt.Fprintln(w)
+	s.RTT.WriteFigure14(w)
+	fmt.Fprintln(w)
+	s.RTT.WriteCarrierEffects(w)
+	fmt.Fprintln(w)
+	s.RTT.WriteSection6Callouts(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteFigure7(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteFigure8(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteFigure9(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteIXPDetail(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteFigure12(w)
+	fmt.Fprintln(w)
+	s.Traffic.WriteFigure13(w)
+	fmt.Fprintln(w)
+	s.Integrity.WriteTable2(w)
+	fmt.Fprintln(w)
+	s.Integrity.WriteFigure10(w)
+	fmt.Fprintln(w)
+	measure.ComputeLoad(len(s.World.Population.VPs), measure.StudyStart).Write(w)
+}
+
+// WriteTable3 renders the VP distribution per region (paper's Table 3).
+func (s *Study) WriteTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: distribution of vantage points per region")
+	fmt.Fprintln(w, "Region          #VPs  #Countries  #Networks")
+	byRegion := s.World.Population.ByRegion()
+	for _, region := range geo.Regions() {
+		vps := byRegion[region]
+		countries := map[string]bool{}
+		networks := map[int]bool{}
+		for _, vp := range vps {
+			countries[vp.Country] = true
+			networks[vp.ASN] = true
+		}
+		fmt.Fprintf(w, "%-15s %4d  %10d  %9d\n", region, len(vps), len(countries), len(networks))
+	}
+}
+
+// Letters re-exports the 13 root letters for binaries built on core.
+func Letters() []rss.Letter { return rss.Letters() }

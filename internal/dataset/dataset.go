@@ -1,0 +1,458 @@
+// Package dataset serializes campaign events to a compact, replayable log —
+// the counterpart of the paper's published measurement data (Appendix A),
+// which uses dictionary-based compression over the raw dig/mtr output. The
+// format interns repeated strings (site IDs, facilities, router names) in a
+// dictionary, varint-encodes the rest, and wraps everything in gzip. A
+// Writer doubles as a measure.Handler so a campaign can be recorded while
+// analyses run; a Reader replays the events into the same handlers later.
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/rss"
+	"repro/internal/vantage"
+	"repro/internal/zonemd"
+)
+
+// magic identifies the format; version gates incompatible changes.
+const (
+	magic   = "RGDS"
+	version = 1
+)
+
+// record kinds.
+const (
+	recProbe    = 1
+	recTransfer = 2
+)
+
+// error classes for transfer outcomes (reconstructed on replay so
+// errors.Is keeps working).
+const (
+	errNone = iota
+	errExpired
+	errNotIncepted
+	errBogus
+	errZonemdDigest
+	errOther
+)
+
+// Writer records campaign events.
+type Writer struct {
+	gz   *gzip.Writer
+	w    *bufio.Writer
+	dict map[string]uint64
+	next uint64
+	err  error
+
+	// Probes and Transfers count written events.
+	Probes, Transfers int
+}
+
+// NewWriter starts a dataset on out.
+func NewWriter(out io.Writer) (*Writer, error) {
+	gz := gzip.NewWriter(out)
+	w := bufio.NewWriter(gz)
+	if _, err := w.WriteString(magic); err != nil {
+		return nil, err
+	}
+	dw := &Writer{gz: gz, w: w, dict: make(map[string]uint64), next: 1}
+	dw.uvarint(version)
+	return dw, dw.err
+}
+
+func (d *Writer) uvarint(v uint64) {
+	if d.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, d.err = d.w.Write(buf[:n])
+}
+
+// intern writes a string reference: known strings cost one varint; new ones
+// are written once with their bytes.
+func (d *Writer) intern(s string) {
+	if id, ok := d.dict[s]; ok {
+		d.uvarint(id << 1)
+		return
+	}
+	d.dict[s] = d.next
+	d.next++
+	d.uvarint(uint64(len(s))<<1 | 1)
+	if d.err == nil {
+		_, d.err = d.w.WriteString(s)
+	}
+}
+
+// HandleProbe implements measure.Handler.
+func (d *Writer) HandleProbe(e measure.ProbeEvent) {
+	d.uvarint(recProbe)
+	d.uvarint(uint64(e.Tick.Index))
+	d.uvarint(uint64(e.Tick.Time.Unix()))
+	d.uvarint(uint64(e.VPIdx))
+	d.intern(targetKey(e.Target))
+	flags := uint64(0)
+	if e.Lost {
+		flags |= 1
+	}
+	if e.STLOK {
+		flags |= 2
+	}
+	if e.SiteKind == 1 {
+		flags |= 4
+	}
+	d.uvarint(flags)
+	if e.Lost {
+		d.Probes++
+		return
+	}
+	d.intern(e.SiteID)
+	d.intern(e.Identifier)
+	d.intern(e.Facility)
+	d.intern(e.SiteCity.IATA)
+	d.uvarint(uint64(e.RTTms * 100)) // centi-milliseconds
+	d.uvarint(uint64(len(e.ASPath)))
+	for _, asn := range e.ASPath {
+		d.uvarint(uint64(asn))
+	}
+	d.intern(e.SecondToLast)
+	d.Probes++
+}
+
+// HandleTransfer implements measure.Handler.
+func (d *Writer) HandleTransfer(e measure.TransferEvent) {
+	d.uvarint(recTransfer)
+	d.uvarint(uint64(e.Tick.Index))
+	d.uvarint(uint64(e.Tick.Time.Unix()))
+	d.uvarint(uint64(e.VPIdx))
+	d.intern(targetKey(e.Target))
+	flags := uint64(0)
+	if e.Lost {
+		flags |= 1
+	}
+	if e.ComparisonMismatch {
+		flags |= 2
+	}
+	if e.Bitflip != nil {
+		flags |= 4
+	}
+	d.uvarint(flags)
+	if e.Lost {
+		d.Transfers++
+		return
+	}
+	d.uvarint(uint64(e.Serial))
+	d.uvarint(uint64(e.Fault))
+	d.uvarint(uint64(classifyErr(e.DNSSECErr)))
+	d.uvarint(uint64(classifyErr(e.ZonemdErr)))
+	if e.Bitflip != nil {
+		d.intern(e.Bitflip.Before)
+		d.intern(e.Bitflip.After)
+	}
+	d.Transfers++
+}
+
+// Close flushes the dataset.
+func (d *Writer) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	return d.gz.Close()
+}
+
+func classifyErr(err error) int {
+	switch {
+	case err == nil:
+		return errNone
+	case errors.Is(err, dnssec.ErrSignatureExpired):
+		return errExpired
+	case errors.Is(err, dnssec.ErrSignatureNotIncepted):
+		return errNotIncepted
+	case errors.Is(err, dnssec.ErrBogusSignature):
+		return errBogus
+	case errors.Is(err, zonemd.ErrDigestMismatch):
+		return errZonemdDigest
+	default:
+		return errOther
+	}
+}
+
+func rebuildErr(class int) error {
+	switch class {
+	case errNone:
+		return nil
+	case errExpired:
+		return dnssec.ErrSignatureExpired
+	case errNotIncepted:
+		return dnssec.ErrSignatureNotIncepted
+	case errBogus:
+		return dnssec.ErrBogusSignature
+	case errZonemdDigest:
+		return zonemd.ErrDigestMismatch
+	default:
+		return errors.New("dataset: unclassified validation error")
+	}
+}
+
+// targetKey encodes a service target compactly ("b4o" = b.root IPv4 old).
+func targetKey(t rss.ServiceAddr) string {
+	fam := byte('4')
+	if t.Family == 1 {
+		fam = '6'
+	}
+	if t.Old {
+		return string(t.Letter) + string(fam) + "o"
+	}
+	return string(t.Letter) + string(fam)
+}
+
+var targetsByKey = func() map[string]rss.ServiceAddr {
+	m := make(map[string]rss.ServiceAddr)
+	for _, t := range rss.AllServiceAddrs() {
+		m[targetKey(t)] = t
+	}
+	return m
+}()
+
+// Reader replays a dataset into handlers.
+type Reader struct {
+	r    *bufio.Reader
+	gz   *gzip.Reader
+	dict []string
+	pop  *vantage.Population
+	// cities resolves metro codes back to geo.City.
+	cities map[string]geo.City
+}
+
+// NewReader opens a dataset. The population must be the one the recording
+// campaign used (the same world seed reproduces it).
+func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
+	gz, err := gzip.NewReader(in)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	r := bufio.NewReader(gz)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil || string(head) != magic {
+		return nil, errors.New("dataset: bad magic")
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil || v != version {
+		return nil, fmt.Errorf("dataset: unsupported version %d", v)
+	}
+	cities := make(map[string]geo.City)
+	for _, c := range geo.Cities() {
+		cities[c.IATA] = c
+	}
+	return &Reader{r: r, gz: gz, dict: []string{""}, pop: pop, cities: cities}, nil
+}
+
+func (d *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(d.r) }
+
+func (d *Reader) str() (string, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if v&1 == 0 {
+		id := v >> 1
+		if id >= uint64(len(d.dict)) {
+			return "", errors.New("dataset: bad dictionary reference")
+		}
+		return d.dict[id], nil
+	}
+	buf := make([]byte, v>>1)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	s := string(buf)
+	d.dict = append(d.dict, s)
+	return s, nil
+}
+
+// Replay streams every event into the handlers, returning the counts.
+func (d *Reader) Replay(handlers ...measure.Handler) (probes, transfers int, err error) {
+	for {
+		kind, err := d.uvarint()
+		if errors.Is(err, io.EOF) {
+			return probes, transfers, nil
+		}
+		if err != nil {
+			return probes, transfers, err
+		}
+		switch kind {
+		case recProbe:
+			e, err := d.readProbe()
+			if err != nil {
+				return probes, transfers, err
+			}
+			probes++
+			for _, h := range handlers {
+				h.HandleProbe(e)
+			}
+		case recTransfer:
+			e, err := d.readTransfer()
+			if err != nil {
+				return probes, transfers, err
+			}
+			transfers++
+			for _, h := range handlers {
+				h.HandleTransfer(e)
+			}
+		default:
+			return probes, transfers, fmt.Errorf("dataset: unknown record kind %d", kind)
+		}
+	}
+}
+
+func (d *Reader) readCommon() (measure.Tick, int, rss.ServiceAddr, uint64, error) {
+	idx, err := d.uvarint()
+	if err != nil {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
+	}
+	unix, err := d.uvarint()
+	if err != nil {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
+	}
+	vpIdx, err := d.uvarint()
+	if err != nil {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
+	}
+	if int(vpIdx) >= len(d.pop.VPs) {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, errors.New("dataset: VP index out of range")
+	}
+	tk, err := d.str()
+	if err != nil {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
+	}
+	target, ok := targetsByKey[tk]
+	if !ok {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, fmt.Errorf("dataset: unknown target %q", tk)
+	}
+	flags, err := d.uvarint()
+	if err != nil {
+		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
+	}
+	tick := measure.Tick{Index: int(idx), Time: time.Unix(int64(unix), 0).UTC()}
+	return tick, int(vpIdx), target, flags, nil
+}
+
+func (d *Reader) readProbe() (measure.ProbeEvent, error) {
+	tick, vpIdx, target, flags, err := d.readCommon()
+	if err != nil {
+		return measure.ProbeEvent{}, err
+	}
+	e := measure.ProbeEvent{
+		Tick: tick, VP: &d.pop.VPs[vpIdx], VPIdx: vpIdx, Target: target,
+		Lost:  flags&1 != 0,
+		STLOK: flags&2 != 0,
+	}
+	if flags&4 != 0 {
+		e.SiteKind = 1
+	}
+	if e.Lost {
+		return e, nil
+	}
+	if e.SiteID, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.Identifier, err = d.str(); err != nil {
+		return e, err
+	}
+	if e.Facility, err = d.str(); err != nil {
+		return e, err
+	}
+	iata, err := d.str()
+	if err != nil {
+		return e, err
+	}
+	e.SiteCity = d.cities[iata]
+	rtt, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.RTTms = float64(rtt) / 100
+	n, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	if n > 64 {
+		return e, errors.New("dataset: implausible AS path length")
+	}
+	e.ASPath = make([]int, n)
+	for i := range e.ASPath {
+		asn, err := d.uvarint()
+		if err != nil {
+			return e, err
+		}
+		e.ASPath[i] = int(asn)
+	}
+	if e.SecondToLast, err = d.str(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+func (d *Reader) readTransfer() (measure.TransferEvent, error) {
+	tick, vpIdx, target, flags, err := d.readCommon()
+	if err != nil {
+		return measure.TransferEvent{}, err
+	}
+	e := measure.TransferEvent{
+		Tick: tick, VP: &d.pop.VPs[vpIdx], VPIdx: vpIdx, Target: target,
+		Lost:               flags&1 != 0,
+		ComparisonMismatch: flags&2 != 0,
+	}
+	if e.Lost {
+		return e, nil
+	}
+	serial, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.Serial = uint32(serial)
+	fault, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.Fault = faults.Kind(fault)
+	dclass, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.DNSSECErr = rebuildErr(int(dclass))
+	zclass, err := d.uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.ZonemdErr = rebuildErr(int(zclass))
+	if flags&4 != 0 {
+		var flip faults.Bitflip
+		if flip.Before, err = d.str(); err != nil {
+			return e, err
+		}
+		if flip.After, err = d.str(); err != nil {
+			return e, err
+		}
+		e.Bitflip = &flip
+	}
+	return e, nil
+}
+
+// Close releases the decompressor.
+func (d *Reader) Close() error { return d.gz.Close() }

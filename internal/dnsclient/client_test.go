@@ -1,0 +1,130 @@
+package dnsclient
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// silentUDP returns a UDP listener that swallows everything.
+func silentUDP(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestQueryTimeout(t *testing.T) {
+	conn := silentUDP(t)
+	c := New(conn.LocalAddr().String())
+	c.Timeout = 100 * time.Millisecond
+	start := time.Now()
+	_, err := c.Query(dnswire.Root, dnswire.TypeSOA)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestRetryCount(t *testing.T) {
+	conn := silentUDP(t)
+	var received atomic.Int32
+	go func() {
+		buf := make([]byte, 512)
+		for {
+			if _, _, err := conn.ReadFromUDP(buf); err != nil {
+				return
+			}
+			received.Add(1)
+		}
+	}()
+	c := New(conn.LocalAddr().String())
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 2
+	_, _ = c.Query(dnswire.Root, dnswire.TypeSOA)
+	// The reader goroutine observes each datagram strictly before the
+	// client's per-attempt timeout elapses; after Query returns, all
+	// attempts have been counted (poll briefly to be safe).
+	deadline := time.Now().Add(time.Second)
+	for received.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := received.Load(); n != 3 { // first attempt + 2 retries
+		t.Errorf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestIgnoresWrongIDAndGarbage(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 512)
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		// Send garbage, then a wrong-ID response, then the real one.
+		_, _ = conn.WriteToUDP([]byte{0xde, 0xad}, raddr)
+		bad := &dnswire.Message{Header: dnswire.Header{ID: q.Header.ID + 1, Response: true},
+			Questions: q.Questions}
+		wire, _ := bad.Pack()
+		_, _ = conn.WriteToUDP(wire, raddr)
+		good := &dnswire.Message{Header: dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions}
+		wire, _ = good.Pack()
+		_, _ = conn.WriteToUDP(wire, raddr)
+	}()
+	c := New(conn.LocalAddr().String())
+	c.Timeout = 2 * time.Second
+	resp, err := c.Query(dnswire.Root, dnswire.TypeSOA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Response {
+		t.Error("not a response")
+	}
+}
+
+func TestTransferZoneConnRefused(t *testing.T) {
+	// A port with no listener: Dial fails fast.
+	c := New("127.0.0.1:1")
+	c.Timeout = 300 * time.Millisecond
+	if _, err := c.TransferZone(); err == nil {
+		t.Error("transfer from dead port succeeded")
+	}
+}
+
+func TestChaosAgainstDeadServer(t *testing.T) {
+	conn := silentUDP(t)
+	c := New(conn.LocalAddr().String())
+	c.Timeout = 100 * time.Millisecond
+	if _, err := c.QueryChaosTXT(dnswire.MustName("hostname.bind.")); err == nil {
+		t.Error("chaos query against silent server succeeded")
+	}
+}
+
+func TestDefaultSettingsMatchPaperDig(t *testing.T) {
+	c := New("192.0.2.1:53")
+	if c.Timeout != time.Second {
+		t.Errorf("timeout = %v, want 1s (dig +timeout=1)", c.Timeout)
+	}
+	if c.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (dig +retry=0)", c.Retries)
+	}
+}

@@ -1,0 +1,118 @@
+package dnssec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Denial-proof errors.
+var (
+	ErrDenialNotProven = errors.New("dnssec: NSEC records do not prove the denial")
+)
+
+// DenialKind classifies a proven negative answer.
+type DenialKind int
+
+// Denial kinds.
+const (
+	// DenialNXDomain: the name does not exist (covered by an NSEC span and
+	// no wildcard could have matched).
+	DenialNXDomain DenialKind = iota
+	// DenialNoData: the name exists but has no records of the queried type.
+	DenialNoData
+)
+
+// CheckDenial verifies that the NSEC records taken from a negative
+// response structurally prove the non-existence of (name, qtype):
+// either an NSEC at the owner name whose type bitmap omits qtype (NODATA),
+// or an NSEC span covering the name (NXDOMAIN). The caller separately
+// verifies the NSEC RRSIGs with VerifyRRset; this function checks only the
+// denial logic (RFC 4035 §5.4). It returns the kind of denial proven.
+func CheckDenial(nsecs []dnswire.RR, name dnswire.Name, qtype dnswire.Type) (DenialKind, error) {
+	nameC := name.Canonical()
+	for _, rr := range nsecs {
+		nsec, ok := rr.Data.(dnswire.NSECRecord)
+		if !ok {
+			continue
+		}
+		if rr.Name.Canonical() == nameC {
+			// NSEC at the queried name: NODATA iff the bitmap omits qtype
+			// (and omits CNAME, which would have answered instead).
+			for _, t := range nsec.Types {
+				if t == qtype || t == dnswire.TypeCNAME {
+					return 0, fmt.Errorf("%w: NSEC at %s lists %s", ErrDenialNotProven, name, t)
+				}
+			}
+			return DenialNoData, nil
+		}
+	}
+	// NXDOMAIN: need a covering span.
+	for _, rr := range nsecs {
+		nsec, ok := rr.Data.(dnswire.NSECRecord)
+		if !ok {
+			continue
+		}
+		if spanCovers(rr.Name, nsec.NextName, name) {
+			return DenialNXDomain, nil
+		}
+	}
+	return 0, ErrDenialNotProven
+}
+
+// spanCovers reports whether the NSEC span (owner, next) covers name in
+// canonical order, handling wrap-around at the zone apex.
+func spanCovers(owner, next, name dnswire.Name) bool {
+	cmpOwner := dnswire.CompareCanonical(owner, name)
+	cmpNext := dnswire.CompareCanonical(name, next)
+	if dnswire.CompareCanonical(owner, next) < 0 {
+		return cmpOwner < 0 && cmpNext < 0
+	}
+	return cmpOwner < 0 || cmpNext < 0
+}
+
+// VerifyDenialResponse is the full negative-response check a validating
+// client performs: every NSEC in the authority section must carry a valid
+// RRSIG over the given keys at time now, and the NSEC set must prove the
+// denial of (name, qtype).
+func VerifyDenialResponse(authority []dnswire.RR, name dnswire.Name, qtype dnswire.Type,
+	keys []dnswire.DNSKEYRecord, now time.Time) (DenialKind, error) {
+	// Group NSECs with their covering signatures.
+	var nsecs []dnswire.RR
+	sigsFor := make(map[dnswire.Name][]dnswire.RRSIGRecord)
+	for _, rr := range authority {
+		switch d := rr.Data.(type) {
+		case dnswire.NSECRecord:
+			nsecs = append(nsecs, rr)
+		case dnswire.RRSIGRecord:
+			if d.TypeCovered == dnswire.TypeNSEC {
+				sigsFor[rr.Name.Canonical()] = append(sigsFor[rr.Name.Canonical()], d)
+			}
+		}
+	}
+	if len(nsecs) == 0 {
+		return 0, ErrDenialNotProven
+	}
+	for _, rr := range nsecs {
+		sigs := sigsFor[rr.Name.Canonical()]
+		if len(sigs) == 0 {
+			return 0, fmt.Errorf("%w: NSEC at %s", ErrNoSignature, rr.Name)
+		}
+		verified := false
+		var lastErr error
+		for _, sig := range sigs {
+			if err := VerifyRRset(sig, []dnswire.RR{rr}, keys, now); err != nil {
+				lastErr = err
+			} else {
+				verified = true
+				break
+			}
+		}
+		if !verified {
+			return 0, lastErr
+		}
+	}
+	return CheckDenial(nsecs, name, qtype)
+}

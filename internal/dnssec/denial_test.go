@@ -1,0 +1,125 @@
+package dnssec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// nsecRR builds an NSEC record for denial tests.
+func nsecRR(owner, next string, types ...dnswire.Type) dnswire.RR {
+	return dnswire.RR{
+		Name: dnswire.MustName(owner), Class: dnswire.ClassINET, TTL: 86400,
+		Data: dnswire.NSECRecord{NextName: dnswire.MustName(next), Types: types},
+	}
+}
+
+func TestCheckDenialNXDomain(t *testing.T) {
+	nsecs := []dnswire.RR{
+		nsecRR("com.", "de.", dnswire.TypeNS),
+		nsecRR(".", "com.", dnswire.TypeSOA, dnswire.TypeNS),
+	}
+	kind, err := CheckDenial(nsecs, dnswire.MustName("cz."), dnswire.TypeA)
+	if err != nil || kind != DenialNXDomain {
+		t.Errorf("kind=%v err=%v", kind, err)
+	}
+	// Name outside every span: not proven.
+	if _, err := CheckDenial(nsecs, dnswire.MustName("fr."), dnswire.TypeA); !errors.Is(err, ErrDenialNotProven) {
+		t.Errorf("uncovered name: %v", err)
+	}
+}
+
+func TestCheckDenialNoData(t *testing.T) {
+	nsecs := []dnswire.RR{nsecRR("com.", "de.", dnswire.TypeNS, dnswire.TypeRRSIG)}
+	kind, err := CheckDenial(nsecs, dnswire.MustName("com."), dnswire.TypeTXT)
+	if err != nil || kind != DenialNoData {
+		t.Errorf("kind=%v err=%v", kind, err)
+	}
+	// The type IS present: denial disproven.
+	if _, err := CheckDenial(nsecs, dnswire.MustName("com."), dnswire.TypeNS); err == nil {
+		t.Error("present type accepted as denied")
+	}
+	// A CNAME at the name would have answered: denial disproven.
+	withCname := []dnswire.RR{nsecRR("com.", "de.", dnswire.TypeCNAME)}
+	if _, err := CheckDenial(withCname, dnswire.MustName("com."), dnswire.TypeTXT); err == nil {
+		t.Error("CNAME-bearing NSEC accepted as NODATA proof")
+	}
+}
+
+func TestCheckDenialWrapAround(t *testing.T) {
+	// Last NSEC in the chain points back to the apex.
+	nsecs := []dnswire.RR{nsecRR("ws.", ".", dnswire.TypeNS)}
+	if kind, err := CheckDenial(nsecs, dnswire.MustName("zz."), dnswire.TypeA); err != nil || kind != DenialNXDomain {
+		t.Errorf("wrap-around: kind=%v err=%v", kind, err)
+	}
+	if _, err := CheckDenial(nsecs, dnswire.MustName("aa."), dnswire.TypeA); err == nil {
+		t.Error("pre-span name accepted under wrap-around")
+	}
+}
+
+func TestVerifyDenialResponseEndToEnd(t *testing.T) {
+	// Sign a zone, extract the real NSEC + RRSIG records a server would put
+	// in an NXDOMAIN response, and validate them as a client.
+	signer, err := NewSigner(rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC)
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = 12
+	signed, err := signer.Sign(zone.SynthesizeRoot(cfg), when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qname := dnswire.MustName("no-such-tld-xyz.")
+	// Collect the covering NSEC and its RRSIG, as the server's authority
+	// section would carry them.
+	var authority []dnswire.RR
+	for _, rr := range signed.Records {
+		if nsec, ok := rr.Data.(dnswire.NSECRecord); ok && spanCovers(rr.Name, nsec.NextName, qname) {
+			authority = append(authority, rr)
+			for _, sigRR := range signed.Lookup(rr.Name, dnswire.TypeRRSIG) {
+				if sigRR.Data.(dnswire.RRSIGRecord).TypeCovered == dnswire.TypeNSEC {
+					authority = append(authority, sigRR)
+				}
+			}
+		}
+	}
+	if len(authority) < 2 {
+		t.Fatalf("authority = %d records", len(authority))
+	}
+	var keys []dnswire.DNSKEYRecord
+	for _, rr := range signed.Lookup(dnswire.Root, dnswire.TypeDNSKEY) {
+		keys = append(keys, rr.Data.(dnswire.DNSKEYRecord))
+	}
+	kind, err := VerifyDenialResponse(authority, qname, dnswire.TypeA, keys, when.Add(time.Hour))
+	if err != nil || kind != DenialNXDomain {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	// Tampering with the NSEC (shrinking its span) must fail signature
+	// verification.
+	tampered := append([]dnswire.RR(nil), authority...)
+	for i, rr := range tampered {
+		if nsec, ok := rr.Data.(dnswire.NSECRecord); ok {
+			nsec.NextName = dnswire.MustName("zzz-tampered.")
+			tampered[i].Data = nsec
+		}
+	}
+	if _, err := VerifyDenialResponse(tampered, qname, dnswire.TypeA, keys, when); err == nil {
+		t.Error("tampered NSEC accepted")
+	}
+	// Unsigned NSEC must be rejected.
+	var unsigned []dnswire.RR
+	for _, rr := range authority {
+		if _, ok := rr.Data.(dnswire.NSECRecord); ok {
+			unsigned = append(unsigned, rr)
+		}
+	}
+	if _, err := VerifyDenialResponse(unsigned, qname, dnswire.TypeA, keys, when); !errors.Is(err, ErrNoSignature) {
+		t.Errorf("unsigned NSEC verdict: %v", err)
+	}
+}

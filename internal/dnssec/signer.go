@@ -1,0 +1,273 @@
+package dnssec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// Signer signs whole zones with a KSK/ZSK split, as the root zone is signed:
+// the KSK signs the DNSKEY RRset, the ZSK signs everything else.
+type Signer struct {
+	KSK *Key
+	ZSK *Key
+	// SignatureValidity is the inception→expiration window; the real root
+	// uses roughly two weeks with staggered windows.
+	SignatureValidity time.Duration
+	// InceptionSkew backdates inception to tolerate slightly slow clocks.
+	InceptionSkew time.Duration
+}
+
+// NewSigner generates a fresh ECDSA-P256 KSK+ZSK signer with root-like
+// validity parameters. rnd may be nil for crypto/rand. The simulation
+// defaults to ECDSA for signing speed; NewRSASigner matches the real root's
+// algorithm.
+func NewSigner(rnd interface{ Read([]byte) (int, error) }) (*Signer, error) {
+	ksk, err := GenerateKey(257, rnd)
+	if err != nil {
+		return nil, err
+	}
+	zsk, err := GenerateKey(256, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{
+		KSK:               ksk,
+		ZSK:               zsk,
+		SignatureValidity: 14 * 24 * time.Hour,
+		InceptionSkew:     4 * time.Hour,
+	}, nil
+}
+
+// NewRSASigner generates an RSA/SHA-256 KSK+ZSK signer — algorithm 8, the
+// one the real root zone signs with.
+func NewRSASigner(rnd interface{ Read([]byte) (int, error) }) (*Signer, error) {
+	ksk, err := GenerateRSAKey(257, rnd)
+	if err != nil {
+		return nil, err
+	}
+	zsk, err := GenerateRSAKey(256, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{
+		KSK:               ksk,
+		ZSK:               zsk,
+		SignatureValidity: 14 * 24 * time.Hour,
+		InceptionSkew:     4 * time.Hour,
+	}, nil
+}
+
+// TrustAnchor returns the DS record for the signer's KSK at the root, the
+// validator's trust anchor.
+func (s *Signer) TrustAnchor() dnswire.RR {
+	return s.KSK.DS(dnswire.Root, 172800)
+}
+
+// rrsetKey groups records into RRsets.
+type rrsetKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+}
+
+// Sign returns a signed copy of z at time now: DNSKEY RRset added and
+// KSK-signed, every other RRset ZSK-signed, NSEC chain built over the owner
+// names. The input zone must not already contain DNSSEC records.
+func (s *Signer) Sign(z *zone.Zone, now time.Time) (*zone.Zone, error) {
+	for _, rr := range z.Records {
+		switch rr.Type() {
+		case dnswire.TypeRRSIG, dnswire.TypeNSEC, dnswire.TypeDNSKEY:
+			return nil, fmt.Errorf("dnssec: zone already contains %s records", rr.Type())
+		}
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		return nil, errors.New("dnssec: zone has no SOA")
+	}
+	minTTL := soa.Data.(dnswire.SOARecord).Minimum
+
+	out := z.Clone()
+	const dnskeyTTL = 172800
+	out.Add(s.KSK.DNSKEY(z.Apex, dnskeyTTL), s.ZSK.DNSKEY(z.Apex, dnskeyTTL))
+	out.Add(s.nsecChain(out, minTTL)...)
+
+	inception := now.Add(-s.InceptionSkew)
+	expiration := now.Add(s.SignatureValidity)
+
+	rrsets := groupRRsets(out.Records)
+	var sigs []dnswire.RR
+	for _, set := range rrsets {
+		// Glue (and other non-authoritative data below delegations) is not
+		// signed. In the root zone only the apex and TLD delegation points
+		// exist; NS sets at non-apex names are delegations and also unsigned,
+		// but their NSEC and DS records would be — we sign NSEC here.
+		if isGlueOrDelegation(z.Apex, set) {
+			continue
+		}
+		key := s.ZSK
+		if set[0].Type() == dnswire.TypeDNSKEY {
+			key = s.KSK
+		}
+		sig, err := SignRRset(key, set, z.Apex, inception, expiration)
+		if err != nil {
+			return nil, err
+		}
+		sigs = append(sigs, sig)
+	}
+	out.Add(sigs...)
+	return out.Canonicalize(), nil
+}
+
+// groupRRsets splits records into RRsets in deterministic order.
+func groupRRsets(records []dnswire.RR) [][]dnswire.RR {
+	groups := make(map[rrsetKey][]dnswire.RR)
+	var order []rrsetKey
+	for _, rr := range records {
+		k := rrsetKey{rr.Name.Canonical(), rr.Type()}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], rr)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if c := dnswire.CompareCanonical(order[i].name, order[j].name); c != 0 {
+			return c < 0
+		}
+		return order[i].typ < order[j].typ
+	})
+	out := make([][]dnswire.RR, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// isGlueOrDelegation reports whether the RRset is non-authoritative data:
+// NS sets below the apex (delegations) or address records at names below a
+// delegation point (glue).
+func isGlueOrDelegation(apex dnswire.Name, set []dnswire.RR) bool {
+	owner := set[0].Name
+	if owner.Canonical() == apex.Canonical() {
+		return false
+	}
+	switch set[0].Type() {
+	case dnswire.TypeNS:
+		return true
+	case dnswire.TypeA, dnswire.TypeAAAA:
+		return true // in a root zone, every non-apex A/AAAA is glue
+	}
+	return false
+}
+
+// nsecChain builds the NSEC chain over the zone's authoritative owner names.
+// For the root zone, authoritative names are the apex and the TLDs.
+func (s *Signer) nsecChain(z *zone.Zone, ttl uint32) []dnswire.RR {
+	typesAt := make(map[dnswire.Name]map[dnswire.Type]bool)
+	for _, rr := range z.Records {
+		n := rr.Name.Canonical()
+		if isGlueOrDelegation(z.Apex, []dnswire.RR{rr}) && rr.Type() != dnswire.TypeNS {
+			continue
+		}
+		if typesAt[n] == nil {
+			typesAt[n] = make(map[dnswire.Type]bool)
+		}
+		typesAt[n][rr.Type()] = true
+	}
+	names := make([]dnswire.Name, 0, len(typesAt))
+	for n := range typesAt {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return dnswire.CompareCanonical(names[i], names[j]) < 0
+	})
+	chain := make([]dnswire.RR, 0, len(names))
+	for i, n := range names {
+		next := names[(i+1)%len(names)]
+		var types []dnswire.Type
+		for t := range typesAt[n] {
+			types = append(types, t)
+		}
+		types = append(types, dnswire.TypeNSEC, dnswire.TypeRRSIG)
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		chain = append(chain, dnswire.RR{
+			Name: n, Class: dnswire.ClassINET, TTL: ttl,
+			Data: dnswire.NSECRecord{NextName: next, Types: types},
+		})
+	}
+	return chain
+}
+
+// ValidateZone fully validates a signed zone at time now: every signed RRset
+// must carry at least one RRSIG that verifies against the zone's DNSKEY
+// RRset, and the DNSKEY RRset itself must match the trust anchor DS. It
+// returns the first error found, classified by the taxonomy errors.
+func ValidateZone(z *zone.Zone, anchor dnswire.DSRecord, now time.Time) error {
+	dnskeyRRs := z.Lookup(z.Apex, dnswire.TypeDNSKEY)
+	if len(dnskeyRRs) == 0 {
+		return errors.New("dnssec: zone has no DNSKEY RRset")
+	}
+	keys := make([]dnswire.DNSKEYRecord, 0, len(dnskeyRRs))
+	anchorOK := false
+	for _, rr := range dnskeyRRs {
+		dk := rr.Data.(dnswire.DNSKEYRecord)
+		keys = append(keys, dk)
+		if dk.IsKSK() && KeyTag(dk) == anchor.KeyTag {
+			if dsMatches(z.Apex, dk, anchor) {
+				anchorOK = true
+			}
+		}
+	}
+	if !anchorOK {
+		return fmt.Errorf("%w: DNSKEY RRset does not match trust anchor", ErrBogusSignature)
+	}
+
+	sigsFor := make(map[rrsetKey][]dnswire.RRSIGRecord)
+	for _, rr := range z.Records {
+		if sig, ok := rr.Data.(dnswire.RRSIGRecord); ok {
+			k := rrsetKey{rr.Name.Canonical(), sig.TypeCovered}
+			sigsFor[k] = append(sigsFor[k], sig)
+		}
+	}
+	for _, set := range groupRRsets(z.Records) {
+		t := set[0].Type()
+		if t == dnswire.TypeRRSIG || isGlueOrDelegation(z.Apex, set) {
+			continue
+		}
+		k := rrsetKey{set[0].Name.Canonical(), t}
+		sigs := sigsFor[k]
+		if len(sigs) == 0 {
+			return fmt.Errorf("%w: %s/%s", ErrNoSignature, k.name, k.typ)
+		}
+		var lastErr error
+		ok := false
+		for _, sig := range sigs {
+			if err := VerifyRRset(sig, set, keys, now); err != nil {
+				lastErr = fmt.Errorf("%s/%s: %w", k.name, k.typ, err)
+			} else {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return lastErr
+		}
+	}
+	return nil
+}
+
+// dsMatches recomputes the DS digest of dk and compares it to anchor.
+func dsMatches(owner dnswire.Name, dk dnswire.DNSKEYRecord, anchor dnswire.DSRecord) bool {
+	if anchor.DigestType != 2 {
+		return false
+	}
+	h := sha256.New()
+	h.Write(canonicalOwner(owner))
+	h.Write(dnskeyRdata(dk))
+	return bytes.Equal(h.Sum(nil), anchor.Digest)
+}

@@ -1,0 +1,449 @@
+// Package dnsserver implements an authoritative DNS server for the root
+// zone over real UDP and TCP sockets: apex answers, TLD referrals with glue,
+// priming responses (RFC 8109), NXDOMAIN, CHAOS-class server identity
+// (hostname.bind, id.server, version.bind, version.server), truncation with
+// TCP fallback, and AXFR. Each simulated root server instance in the study
+// can be backed by one of these, and the examples run them on loopback.
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/axfr"
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// Identity is what the server reports to CHAOS-class identity queries.
+type Identity struct {
+	// Hostname answers hostname.bind and id.server, e.g. the instance name
+	// "fra3.l.root-servers.org" a root instance would report.
+	Hostname string
+	// Version answers version.bind and version.server.
+	Version string
+}
+
+// Config configures a Server.
+type Config struct {
+	// Zone is the primary zone to serve. It must have a SOA at its apex.
+	Zone *zone.Zone
+	// ExtraZones are additional authoritative zones (the real root servers
+	// also serve root-servers.net). Lookups pick the zone with the
+	// longest-matching apex.
+	ExtraZones []*zone.Zone
+	// Identity is reported on CHAOS TXT queries. Empty fields yield REFUSED,
+	// like roots that suppress identity.
+	Identity Identity
+	// AllowAXFR enables zone transfers on the TCP listener.
+	AllowAXFR bool
+	// UDPSize caps UDP responses; larger answers set TC. Defaults to 512
+	// without EDNS, or the client's advertised size.
+	UDPSize int
+}
+
+// Server is an authoritative DNS server bound to one UDP and one TCP socket.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	zone    *zone.Zone
+	udp     *net.UDPConn
+	tcp     net.Listener
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	started bool
+}
+
+// New creates an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Zone == nil {
+		return nil, errors.New("dnsserver: nil zone")
+	}
+	if _, ok := cfg.Zone.SOA(); !ok {
+		return nil, errors.New("dnsserver: zone has no SOA")
+	}
+	if cfg.UDPSize == 0 {
+		cfg.UDPSize = dnswire.MaxUDPPayload
+	}
+	return &Server{cfg: cfg, zone: cfg.Zone, closed: make(chan struct{})}, nil
+}
+
+// SetZone atomically replaces the served zone (zone updates mid-study).
+func (s *Server) SetZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zone = z
+}
+
+// Zone returns the currently served primary zone.
+func (s *Server) Zone() *zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zone
+}
+
+// zoneFor returns the authoritative zone for name: the configured zone
+// (primary or extra) with the longest apex that name falls under, or nil.
+func (s *Server) zoneFor(name dnswire.Name) *zone.Zone {
+	best := (*zone.Zone)(nil)
+	bestLabels := -1
+	consider := func(z *zone.Zone) {
+		if z == nil || !name.SubdomainOf(z.Apex) {
+			return
+		}
+		if n := len(z.Apex.Labels()); n > bestLabels {
+			best, bestLabels = z, n
+		}
+	}
+	consider(s.Zone())
+	for _, z := range s.cfg.ExtraZones {
+		consider(z)
+	}
+	return best
+}
+
+// Start binds addr (e.g. "127.0.0.1:0") on UDP and TCP and serves until
+// Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if s.started {
+		return nil, errors.New("dnsserver: already started")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: resolve %q: %w", addr, err)
+	}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: listen udp: %w", err)
+	}
+	tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("dnsserver: listen tcp: %w", err)
+	}
+	s.udp, s.tcp = udp, tcp
+	s.started = true
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return udp.LocalAddr(), nil
+}
+
+// Close stops the listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	if !s.started {
+		return nil
+	}
+	close(s.closed)
+	s.udp.Close()
+	s.tcp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // unparseable datagrams are dropped, like real servers
+		}
+		resp := s.Handle(query, false)
+		if resp == nil {
+			continue
+		}
+		limit := s.cfg.UDPSize
+		if opt, ok := query.EDNS(); ok && int(opt.UDPSize) > limit {
+			limit = int(opt.UDPSize)
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		if len(wire) > limit {
+			tc := &dnswire.Message{Header: resp.Header, Questions: resp.Questions}
+			tc.Header.Truncated = true
+			if wire, err = tc.Pack(); err != nil {
+				continue
+			}
+		}
+		_, _ = s.udp.WriteToUDP(wire, raddr)
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles sequential queries on one TCP connection.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		query, err := axfr.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if len(query.Questions) == 1 && query.Questions[0].Type == dnswire.TypeAXFR {
+			if s.cfg.AllowAXFR {
+				_ = axfr.Serve(conn, s.Zone(), query)
+			} else {
+				_ = axfr.Refuse(conn, query)
+			}
+			continue
+		}
+		resp := s.Handle(query, true)
+		if resp == nil {
+			return
+		}
+		if err := axfr.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle computes the response for query. tcp reports the transport (AXFR is
+// only valid over TCP and handled by the caller). A nil return means "drop".
+// Exported so in-process simulations can query a server without sockets.
+func (s *Server) Handle(query *dnswire.Message, tcp bool) *dnswire.Message {
+	if query.Header.Response || len(query.Questions) != 1 {
+		return nil
+	}
+	q := query.Questions[0]
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:       query.Header.ID,
+			Response: true,
+			Opcode:   query.Header.Opcode,
+		},
+		Questions: []dnswire.Question{q},
+	}
+	if query.Header.Opcode != dnswire.OpcodeQuery {
+		resp.Header.Rcode = dnswire.RcodeNotImp
+		return resp
+	}
+	if opt, ok := query.EDNS(); ok {
+		resp.WithEDNS(uint16(max(s.cfg.UDPSize, dnswire.MaxUDPPayload)), opt.Do)
+	}
+
+	switch q.Class {
+	case dnswire.ClassCHAOS:
+		s.answerChaos(resp, q)
+	case dnswire.ClassINET:
+		if q.Type == dnswire.TypeAXFR {
+			resp.Header.Rcode = dnswire.RcodeRefused
+			if tcp && s.cfg.AllowAXFR {
+				// handled by serveConn; Handle alone refuses
+			}
+			return resp
+		}
+		s.answerINET(resp, q, query)
+	default:
+		resp.Header.Rcode = dnswire.RcodeRefused
+	}
+	return resp
+}
+
+// answerChaos answers the identity battery.
+func (s *Server) answerChaos(resp *dnswire.Message, q dnswire.Question) {
+	name := strings.ToLower(strings.TrimSuffix(string(q.Name), "."))
+	var txt string
+	switch name {
+	case "hostname.bind", "id.server":
+		txt = s.cfg.Identity.Hostname
+	case "version.bind", "version.server":
+		txt = s.cfg.Identity.Version
+	default:
+		resp.Header.Rcode = dnswire.RcodeRefused
+		return
+	}
+	if txt == "" {
+		resp.Header.Rcode = dnswire.RcodeRefused
+		return
+	}
+	if q.Type != dnswire.TypeTXT {
+		resp.Header.Rcode = dnswire.RcodeRefused
+		return
+	}
+	resp.Header.Authoritative = true
+	resp.Answers = append(resp.Answers, dnswire.RR{
+		Name: q.Name, Class: dnswire.ClassCHAOS, TTL: 0,
+		Data: dnswire.TXTRecord{Strings: []string{txt}},
+	})
+}
+
+// answerINET answers class-IN queries from the best-matching authoritative
+// zone: authoritative data at or above the apex cut, referrals for
+// delegated names, NXDOMAIN otherwise.
+func (s *Server) answerINET(resp *dnswire.Message, q dnswire.Question, query *dnswire.Message) {
+	z := s.zoneFor(q.Name)
+	if z == nil {
+		resp.Header.Rcode = dnswire.RcodeRefused
+		return
+	}
+	dnssecOK := false
+	if opt, ok := query.EDNS(); ok {
+		dnssecOK = opt.Do
+	}
+
+	// Exact data at the name?
+	answers := z.Lookup(q.Name, q.Type)
+	isDelegated := len(z.Delegation(q.Name)) > 0
+
+	if len(answers) > 0 && (!isDelegated || q.Name.Canonical() == z.Apex.Canonical()) {
+		resp.Header.Authoritative = true
+		resp.Answers = answers
+		if dnssecOK {
+			resp.Answers = append(resp.Answers, coveringSigs(z, q.Name, q.Type)...)
+		}
+		if q.Name.Canonical() == z.Apex.Canonical() && q.Type == dnswire.TypeNS {
+			s.addGlue(resp, z, answers, dnssecOK)
+		}
+		return
+	}
+
+	// Referral?
+	if deleg := z.Delegation(q.Name); len(deleg) > 0 {
+		resp.Authority = deleg
+		s.addGlue(resp, z, deleg, false)
+		return
+	}
+
+	// Name exists with other types (NODATA) or not at all (NXDOMAIN)?
+	if len(z.Lookup(q.Name, dnswire.TypeANY)) > 0 {
+		resp.Header.Authoritative = true
+		s.addSOA(resp, z, dnssecOK)
+		if dnssecOK {
+			// NODATA proof: the NSEC at the queried name shows the type is
+			// absent from its bitmap (RFC 4035 §3.1.3.1).
+			s.addNSEC(resp, z, q.Name)
+		}
+		return
+	}
+	resp.Header.Authoritative = true
+	resp.Header.Rcode = dnswire.RcodeNXDomain
+	s.addSOA(resp, z, dnssecOK)
+	if dnssecOK {
+		// NXDOMAIN proof: the NSEC covering the queried name, plus the one
+		// proving no wildcard could have matched (RFC 4035 §3.1.3.2). In
+		// the root zone, the apex NSEC proves wildcard absence.
+		s.addCoveringNSEC(resp, z, q.Name)
+		s.addNSEC(resp, z, z.Apex)
+	}
+}
+
+// addNSEC appends the NSEC RRset at name (with its RRSIG) to authority.
+func (s *Server) addNSEC(resp *dnswire.Message, z *zone.Zone, name dnswire.Name) {
+	for _, rr := range z.Lookup(name, dnswire.TypeNSEC) {
+		resp.Authority = append(resp.Authority, rr)
+	}
+	resp.Authority = append(resp.Authority, coveringSigs(z, name, dnswire.TypeNSEC)...)
+}
+
+// addCoveringNSEC appends the NSEC record whose owner/next-name span covers
+// the (nonexistent) queried name, with its RRSIG.
+func (s *Server) addCoveringNSEC(resp *dnswire.Message, z *zone.Zone, name dnswire.Name) {
+	for _, rr := range z.Records {
+		nsec, ok := rr.Data.(dnswire.NSECRecord)
+		if !ok {
+			continue
+		}
+		if nsecCovers(rr.Name, nsec.NextName, name) {
+			resp.Authority = append(resp.Authority, rr)
+			resp.Authority = append(resp.Authority, coveringSigs(z, rr.Name, dnswire.TypeNSEC)...)
+			return
+		}
+	}
+}
+
+// nsecCovers reports whether the NSEC span (owner, next) covers name in
+// canonical order, handling the chain's wrap-around at the apex.
+func nsecCovers(owner, next, name dnswire.Name) bool {
+	cmpOwner := dnswire.CompareCanonical(owner, name)
+	cmpNext := dnswire.CompareCanonical(name, next)
+	if dnswire.CompareCanonical(owner, next) < 0 {
+		return cmpOwner < 0 && cmpNext < 0
+	}
+	// Wrap-around span (last NSEC pointing back to the apex).
+	return cmpOwner < 0 || cmpNext < 0
+}
+
+// addGlue appends A/AAAA (and with dnssecOK their RRSIGs) for NS targets.
+func (s *Server) addGlue(resp *dnswire.Message, z *zone.Zone, nsset []dnswire.RR, dnssecOK bool) {
+	for _, rr := range nsset {
+		ns, ok := rr.Data.(dnswire.NSRecord)
+		if !ok {
+			continue
+		}
+		resp.Additional = append(resp.Additional, z.Glue(ns.Host)...)
+		if dnssecOK {
+			resp.Additional = append(resp.Additional, coveringSigs(z, ns.Host, dnswire.TypeA)...)
+			resp.Additional = append(resp.Additional, coveringSigs(z, ns.Host, dnswire.TypeAAAA)...)
+		}
+	}
+}
+
+// addSOA puts the SOA (and optionally its RRSIG) in the authority section.
+func (s *Server) addSOA(resp *dnswire.Message, z *zone.Zone, dnssecOK bool) {
+	if soa, ok := z.SOA(); ok {
+		resp.Authority = append(resp.Authority, soa)
+		if dnssecOK {
+			resp.Authority = append(resp.Authority, coveringSigs(z, z.Apex, dnswire.TypeSOA)...)
+		}
+	}
+}
+
+// coveringSigs returns RRSIGs at name covering typ.
+func coveringSigs(z *zone.Zone, name dnswire.Name, typ dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	for _, rr := range z.Lookup(name, dnswire.TypeRRSIG) {
+		if sig, ok := rr.Data.(dnswire.RRSIGRecord); ok && sig.TypeCovered == typ {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// Run is a convenience for examples: start on addr, block until ctx is done,
+// then close.
+func (s *Server) Run(ctx context.Context, addr string) (net.Addr, error) {
+	bound, err := s.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	return bound, nil
+}

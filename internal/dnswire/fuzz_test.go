@@ -1,0 +1,70 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+// FuzzUnpack checks that the decoder never panics on arbitrary input and
+// that anything it accepts can be re-packed and re-decoded to an equal
+// message count layout (idempotent parse).
+func FuzzUnpack(f *testing.F) {
+	seed, err := sampleMessage().Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	corrupt := append([]byte(nil), seed...)
+	corrupt[4] = 0xFF // absurd question count
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			// Some decoded messages cannot be re-packed (e.g. RDATA blobs
+			// exceeding limits); that is acceptable as long as we do not
+			// panic.
+			return
+		}
+		m2, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("repack not parseable: %v", err)
+		}
+		if len(m2.Answers) != len(m.Answers) ||
+			len(m2.Questions) != len(m.Questions) ||
+			len(m2.Authority) != len(m.Authority) {
+			t.Fatalf("section counts changed across repack")
+		}
+	})
+}
+
+// FuzzDecodeName checks the name decoder against arbitrary buffers: no
+// panics, no infinite loops, and every accepted name re-encodes to a form
+// that decodes to the same name.
+func FuzzDecodeName(f *testing.F) {
+	f.Add([]byte{0}, 0)
+	f.Add([]byte{1, 'a', 0}, 0)
+	f.Add([]byte{0xC0, 0}, 0)
+	f.Add(appendName(nil, MustName("a.root-servers.net."), 0, nil), 0)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off >= len(data) {
+			return
+		}
+		name, _, err := decodeName(data, off)
+		if err != nil {
+			return
+		}
+		wire := appendName(nil, name, 0, nil)
+		back, _, err := decodeName(wire, 0)
+		if err != nil {
+			t.Fatalf("re-encoded name %q does not decode: %v", name, err)
+		}
+		if back != name {
+			t.Fatalf("round trip changed name: %q vs %q", back, name)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func sampleMessage() *Message {
+	return &Message{
+		Header: Header{
+			ID:            0xBEEF,
+			Response:      true,
+			Authoritative: true,
+			Rcode:         RcodeNoError,
+		},
+		Questions: []Question{{Name: Root, Type: TypeNS, Class: ClassINET}},
+		Answers: []RR{
+			{Name: Root, Class: ClassINET, TTL: 518400,
+				Data: NSRecord{Host: MustName("a.root-servers.net.")}},
+			{Name: Root, Class: ClassINET, TTL: 518400,
+				Data: NSRecord{Host: MustName("b.root-servers.net.")}},
+		},
+		Additional: []RR{
+			{Name: MustName("a.root-servers.net."), Class: ClassINET, TTL: 518400,
+				Data: ARecord{Addr: mustAddr("198.41.0.4")}},
+			{Name: MustName("a.root-servers.net."), Class: ClassINET, TTL: 518400,
+				Data: AAAARecord{Addr: mustAddr("2001:503:ba3e::2:30")}},
+		},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	for _, pack := range []struct {
+		name string
+		fn   func() ([]byte, error)
+	}{
+		{"compressed", m.Pack},
+		{"uncompressed", m.PackUncompressed},
+	} {
+		wire, err := pack.fn()
+		if err != nil {
+			t.Fatalf("%s pack: %v", pack.name, err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("%s unpack: %v", pack.name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s round trip mismatch:\ngot  %+v\nwant %+v", pack.name, got, m)
+		}
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := sampleMessage()
+	c, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := m.PackUncompressed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(u) {
+		t.Errorf("compressed %d >= uncompressed %d", len(c), len(u))
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	f := func(id uint16, resp, aa, tc, rd, ra, ad, cd bool, op, rc uint8) bool {
+		m := &Message{Header: Header{
+			ID: id, Response: resp, Opcode: Opcode(op & 0xF),
+			Authoritative: aa, Truncated: tc, RecursionDesired: rd,
+			RecursionAvailable: ra, AuthenticData: ad, CheckingDisabled: cd,
+			Rcode: Rcode(rc & 0xF),
+		}}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomRR generates a random RR of a random supported type.
+func randomRR(r *rand.Rand) RR {
+	name := randomName(r)
+	ttl := r.Uint32() % 1000000
+	var data RData
+	switch r.Intn(11) {
+	case 0:
+		var a [4]byte
+		r.Read(a[:])
+		data = ARecord{Addr: netip.AddrFrom4(a)}
+	case 1:
+		var a [16]byte
+		r.Read(a[:])
+		data = AAAARecord{Addr: netip.AddrFrom16(a)}
+	case 2:
+		data = NSRecord{Host: randomName(r)}
+	case 3:
+		data = CNAMERecord{Target: randomName(r)}
+	case 4:
+		data = SOARecord{
+			MName: randomName(r), RName: randomName(r),
+			Serial: r.Uint32(), Refresh: r.Uint32(), Retry: r.Uint32(),
+			Expire: r.Uint32(), Minimum: r.Uint32(),
+		}
+	case 5:
+		n := 1 + r.Intn(3)
+		strs := make([]string, n)
+		for i := range strs {
+			b := make([]byte, r.Intn(40))
+			for j := range b {
+				b[j] = byte('a' + r.Intn(26))
+			}
+			strs[i] = string(b)
+		}
+		data = TXTRecord{Strings: strs}
+	case 6:
+		pk := make([]byte, 32+r.Intn(32))
+		r.Read(pk)
+		data = DNSKEYRecord{Flags: 256 + uint16(r.Intn(2)), Protocol: 3,
+			Algorithm: AlgECDSAP256SHA256, PublicKey: pk}
+	case 7:
+		sig := make([]byte, 64)
+		r.Read(sig)
+		data = RRSIGRecord{
+			TypeCovered: TypeNS, Algorithm: AlgECDSAP256SHA256,
+			Labels: uint8(r.Intn(4)), OriginalTTL: r.Uint32(),
+			Expiration: r.Uint32(), Inception: r.Uint32(),
+			KeyTag: uint16(r.Uint32()), SignerName: randomName(r), Signature: sig,
+		}
+	case 8:
+		d := make([]byte, 48)
+		r.Read(d)
+		data = DSRecord{KeyTag: uint16(r.Uint32()), Algorithm: AlgECDSAP256SHA256,
+			DigestType: 2, Digest: d}
+	case 9:
+		types := []Type{TypeNS, TypeSOA, TypeRRSIG, TypeNSEC, TypeDNSKEY, TypeZONEMD}
+		n := 1 + r.Intn(len(types))
+		data = NSECRecord{NextName: randomName(r), Types: types[:n]}
+	case 10:
+		d := make([]byte, 48)
+		r.Read(d)
+		data = ZONEMDRecord{Serial: r.Uint32(), Scheme: ZonemdSchemeSimple,
+			Hash: ZonemdHashSHA384, Digest: d}
+	}
+	return RR{Name: name, Class: ClassINET, TTL: ttl, Data: data}
+}
+
+func TestRandomMessageRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Header:    Header{ID: uint16(r.Uint32()), Response: true},
+			Questions: []Question{{Name: randomName(r), Type: TypeANY, Class: ClassINET}},
+		}
+		for i := 0; i < 1+r.Intn(8); i++ {
+			m.Answers = append(m.Answers, randomRR(r))
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			m.Authority = append(m.Authority, randomRR(r))
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Logf("pack: %v", err)
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Logf("unpack: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Logf("mismatch:\ngot  %#v\nwant %#v", got, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackMalformed(t *testing.T) {
+	valid, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(valid); i++ {
+		if _, err := Unpack(valid[:i]); err == nil {
+			// Truncation at some boundaries can still parse if the header
+			// counts are satisfied; those boundaries must be RR boundaries.
+			// Only the full message is guaranteed valid with these counts.
+			t.Errorf("Unpack of %d-byte prefix succeeded", i)
+		}
+	}
+}
+
+func TestEDNSRoundTrip(t *testing.T) {
+	m := NewQuery(1, Root, TypeSOA).WithEDNS(4096, true)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := got.EDNS()
+	if !ok {
+		t.Fatal("no OPT record after round trip")
+	}
+	if opt.UDPSize != 4096 || !opt.Do {
+		t.Errorf("opt = %+v", opt)
+	}
+}
+
+func TestChaosQuery(t *testing.T) {
+	m := NewChaosQuery(7, MustName("hostname.bind."))
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := got.Questions[0]
+	if q.Class != ClassCHAOS || q.Type != TypeTXT || q.Name != "hostname.bind." {
+		t.Errorf("question = %+v", q)
+	}
+}
+
+func TestTypeBitmapRoundTrip(t *testing.T) {
+	cases := [][]Type{
+		{TypeA},
+		{TypeNS, TypeSOA, TypeRRSIG, TypeNSEC, TypeDNSKEY, TypeZONEMD},
+		{TypeA, TypeAAAA, Type(1234)},
+		{TypeZONEMD},
+	}
+	for _, types := range cases {
+		wire := appendTypeBitmap(nil, types)
+		got, err := decodeTypeBitmap(wire)
+		if err != nil {
+			t.Fatalf("decode bitmap %v: %v", types, err)
+		}
+		if !reflect.DeepEqual(got, types) {
+			t.Errorf("bitmap round trip = %v, want %v", got, types)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for typ := range typeNames {
+		got, err := TypeFromString(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("TypeFromString(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if got, err := TypeFromString("TYPE999"); err != nil || got != Type(999) {
+		t.Errorf("TYPE999 = %v, %v", got, err)
+	}
+	if _, err := TypeFromString("BOGUS"); err == nil {
+		t.Error("expected error for BOGUS")
+	}
+}
+
+func TestRRString(t *testing.T) {
+	rr := RR{Name: Root, Class: ClassINET, TTL: 86400,
+		Data: SOARecord{MName: MustName("a.root-servers.net."), RName: MustName("nstld.verisign-grs.com."), Serial: 2023112700}}
+	s := rr.String()
+	if s == "" {
+		t.Error("empty RR string")
+	}
+}

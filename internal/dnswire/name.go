@@ -1,0 +1,225 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// A Name is a fully-qualified domain name in presentation form, always ending
+// in a dot ("." for the root). The zero value is not a valid name; use Root
+// or MustName.
+type Name string
+
+// Root is the root domain name ".".
+const Root Name = "."
+
+// Errors returned by name parsing and decoding.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+	ErrTruncated    = errors.New("dnswire: message truncated")
+)
+
+// NewName validates and canonicalizes s into a Name. A missing trailing dot
+// is added. Escapes are not supported: the root zone's contents in this
+// repository never need them.
+func NewName(s string) (Name, error) {
+	if s == "" || s == "." {
+		return Root, nil
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	wireLen := 1 // terminal root label
+	for _, label := range strings.Split(strings.TrimSuffix(s, "."), ".") {
+		if label == "" {
+			return "", fmt.Errorf("dnswire: empty label in %q", s)
+		}
+		if len(label) > MaxLabelLen {
+			return "", ErrLabelTooLong
+		}
+		wireLen += 1 + len(label)
+	}
+	if wireLen > MaxNameLen {
+		return "", ErrNameTooLong
+	}
+	return Name(s), nil
+}
+
+// MustName is NewName for compile-time-known names; it panics on error.
+func MustName(s string) Name {
+	n, err := NewName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String returns the presentation form.
+func (n Name) String() string { return string(n) }
+
+// IsRoot reports whether n is ".".
+func (n Name) IsRoot() bool { return n == Root }
+
+// Labels returns the labels of n from left to right, excluding the empty
+// root label. The root name has zero labels.
+func (n Name) Labels() []string {
+	if n.IsRoot() || n == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// Canonical returns n lowercased, per the DNSSEC canonical form
+// (RFC 4034 §6.2).
+func (n Name) Canonical() Name { return Name(strings.ToLower(string(n))) }
+
+// Parent returns the name with the leftmost label removed; the parent of the
+// root is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) <= 1 {
+		return Root
+	}
+	return Name(strings.Join(labels[1:], ".") + ".")
+}
+
+// SubdomainOf reports whether n is equal to or below parent
+// (case-insensitively).
+func (n Name) SubdomainOf(parent Name) bool {
+	if parent.IsRoot() {
+		return true
+	}
+	nc, pc := string(n.Canonical()), string(parent.Canonical())
+	return nc == pc || strings.HasSuffix(nc, "."+pc)
+}
+
+// CompareCanonical orders names in DNSSEC canonical order (RFC 4034 §6.1):
+// by label from the rightmost, comparing lowercased labels as octet strings,
+// with a shorter name sorting first when it is a prefix.
+func CompareCanonical(a, b Name) int {
+	al, bl := a.Canonical().Labels(), b.Canonical().Labels()
+	for i := 1; i <= len(al) && i <= len(bl); i++ {
+		la, lb := al[len(al)-i], bl[len(bl)-i]
+		if la != lb {
+			if la < lb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(al) < len(bl):
+		return -1
+	case len(al) > len(bl):
+		return 1
+	}
+	return 0
+}
+
+// wireLen returns the uncompressed wire length of n.
+func (n Name) wireLen() int {
+	if n.IsRoot() {
+		return 1
+	}
+	l := 1
+	for _, label := range n.Labels() {
+		l += 1 + len(label)
+	}
+	return l
+}
+
+// compressionMap tracks name→offset mappings while building a message.
+type compressionMap map[Name]int
+
+// appendName appends the wire encoding of n to buf. When cm is non-nil,
+// RFC 1035 §4.1.4 compression pointers are emitted for known suffixes and
+// new suffixes at offsets < 0x4000 are recorded. off is the offset of the
+// name within the full message.
+// appendName compresses case-sensitively: DNS names compare
+// case-insensitively, but matching only byte-identical suffixes keeps
+// pack/unpack round trips byte-faithful (a case-insensitive match would
+// silently rewrite a name's case when two spellings share a suffix).
+func appendName(buf []byte, n Name, off int, cm compressionMap) []byte {
+	labels := n.Labels()
+	for i := range labels {
+		suffix := Name(strings.Join(labels[i:], ".") + ".")
+		if cm != nil {
+			if ptr, ok := cm[suffix]; ok {
+				return append(buf, 0xC0|byte(ptr>>8), byte(ptr))
+			}
+			if off < 0x4000 {
+				cm[suffix] = off
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+		off += 1 + len(labels[i])
+	}
+	return append(buf, 0)
+}
+
+// decodeName decodes a (possibly compressed) name starting at off in msg.
+// It returns the name and the offset just past the name's representation at
+// off (pointers are followed but do not advance the caller's cursor).
+func decodeName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := len(msg) // each pointer must strictly decrease; bound loops
+	jumped := false
+	end := off
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncated
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return Root, end, nil
+			}
+			name := Name(sb.String())
+			if name.wireLen() > MaxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[off+1])
+			if ptr >= off {
+				return "", 0, ErrBadPointer
+			}
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if l > MaxLabelLen {
+				return "", 0, ErrLabelTooLong
+			}
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncated
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+			if !jumped {
+				end = off
+			}
+		}
+	}
+}

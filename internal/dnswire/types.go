@@ -1,0 +1,199 @@
+// Package dnswire implements the DNS wire format (RFC 1035 and friends):
+// domain names with message compression, message headers, questions, and
+// resource records including the DNSSEC (RFC 4034) and ZONEMD (RFC 8976)
+// types used by the root zone. It is the lowest substrate of the study:
+// every query, response, and zone transfer in the repository passes through
+// this codec.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS RR type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// RR types used by the root zone and the measurement battery.
+const (
+	TypeNone   Type = 0
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	TypeZONEMD Type = 63
+	TypeAXFR   Type = 252
+	TypeANY    Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA:      "A",
+	TypeNS:     "NS",
+	TypeCNAME:  "CNAME",
+	TypeSOA:    "SOA",
+	TypePTR:    "PTR",
+	TypeMX:     "MX",
+	TypeTXT:    "TXT",
+	TypeAAAA:   "AAAA",
+	TypeOPT:    "OPT",
+	TypeDS:     "DS",
+	TypeRRSIG:  "RRSIG",
+	TypeNSEC:   "NSEC",
+	TypeDNSKEY: "DNSKEY",
+	TypeZONEMD: "ZONEMD",
+	TypeAXFR:   "AXFR",
+	TypeANY:    "ANY",
+}
+
+var typesByName = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// String returns the mnemonic for t, or the RFC 3597 TYPE###  form for
+// unknown types.
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// TypeFromString parses a type mnemonic such as "AAAA". It accepts the
+// RFC 3597 TYPE### form for unknown types.
+func TypeFromString(s string) (Type, error) {
+	if t, ok := typesByName[s]; ok {
+		return t, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "TYPE%d", &n); err == nil {
+		return Type(n), nil
+	}
+	return TypeNone, fmt.Errorf("dnswire: unknown RR type %q", s)
+}
+
+// Class is a DNS class. CLASS IN carries the zone data; CLASS CH carries the
+// server-identity battery (hostname.bind and friends).
+type Class uint16
+
+// DNS classes.
+const (
+	ClassINET  Class = 1
+	ClassCHAOS Class = 3
+	ClassANY   Class = 255
+)
+
+// String returns the mnemonic for c.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCHAOS:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// ClassFromString parses a class mnemonic such as "CH".
+func ClassFromString(s string) (Class, error) {
+	switch s {
+	case "IN":
+		return ClassINET, nil
+	case "CH":
+		return ClassCHAOS, nil
+	case "ANY":
+		return ClassANY, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "CLASS%d", &n); err == nil {
+		return Class(n), nil
+	}
+	return 0, fmt.Errorf("dnswire: unknown class %q", s)
+}
+
+// Opcode selects the kind of query (RFC 1035 §4.1.1).
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the mnemonic for o.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// Rcode is a response code (RFC 1035 §4.1.1).
+type Rcode uint8
+
+// Response codes.
+const (
+	RcodeNoError  Rcode = 0
+	RcodeFormErr  Rcode = 1
+	RcodeServFail Rcode = 2
+	RcodeNXDomain Rcode = 3
+	RcodeNotImp   Rcode = 4
+	RcodeRefused  Rcode = 5
+)
+
+// String returns the mnemonic for r.
+func (r Rcode) String() string {
+	switch r {
+	case RcodeNoError:
+		return "NOERROR"
+	case RcodeFormErr:
+		return "FORMERR"
+	case RcodeServFail:
+		return "SERVFAIL"
+	case RcodeNXDomain:
+		return "NXDOMAIN"
+	case RcodeNotImp:
+		return "NOTIMP"
+	case RcodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// DNSSEC algorithm numbers (RFC 4034 Appendix A.1 and successors).
+const (
+	AlgRSASHA256       = 8
+	AlgECDSAP256SHA256 = 13
+)
+
+// ZONEMD scheme and hash algorithm numbers (RFC 8976 §2.2.4, §2.2.5).
+const (
+	ZonemdSchemeSimple   = 1
+	ZonemdHashSHA384     = 1
+	ZonemdHashSHA512     = 2
+	ZonemdHashPrivateMin = 240 // private-use range used during the rollout
+)
+
+// Limits from RFC 1035 §2.3.4.
+const (
+	MaxLabelLen   = 63
+	MaxNameLen    = 255
+	MaxUDPPayload = 512 // without EDNS0
+)

@@ -1,0 +1,576 @@
+package measure
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"repro/internal/anycast"
+	"repro/internal/dnssec"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/rss"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+	"repro/internal/vantage"
+	"repro/internal/zone"
+	"repro/internal/zonemd"
+)
+
+// ProbeEvent is one completed probe (traceroute + query battery) from one VP
+// to one root service address during one tick.
+type ProbeEvent struct {
+	Tick   Tick
+	VP     *vantage.VP
+	VPIdx  int
+	Target rss.ServiceAddr
+	// Lost marks a probe whose queries all timed out (no route or packet
+	// loss under dig +retry=0).
+	Lost bool
+	// Site fields are valid when !Lost.
+	SiteID     string
+	Identifier string
+	Facility   string
+	SiteCity   geo.City
+	SiteKind   anycast.SiteKind
+	// RTTms is the query round-trip time.
+	RTTms float64
+	// ASPath is the AS-level forward path.
+	ASPath []int
+	// SecondToLast is the second-to-last traceroute hop identity; STLOK is
+	// false when the hop did not respond.
+	SecondToLast string
+	STLOK        bool
+}
+
+// TransferEvent is one AXFR attempt with its validation outcome.
+type TransferEvent struct {
+	Tick   Tick
+	VP     *vantage.VP
+	VPIdx  int
+	Target rss.ServiceAddr
+	Lost   bool
+	Serial uint32
+	// Fault is the injected fault class behind a failed validation (None
+	// for clean transfers).
+	Fault faults.Kind
+	// ZonemdErr and DNSSECErr carry the real validator's classification.
+	ZonemdErr, DNSSECErr error
+	// ComparisonMismatch reports that the transferred zone differs from a
+	// reference copy with the same SOA (the paper's ICANN-download check).
+	// It catches corruption in glue/delegation data that DNSSEC does not
+	// cover before ZONEMD became verifiable.
+	ComparisonMismatch bool
+	// Bitflip, when non-nil, renders the corrupted record (Fig. 10).
+	Bitflip *faults.Bitflip
+}
+
+// Handler consumes campaign events. Implementations must be cheap: they run
+// inline with the campaign loop.
+type Handler interface {
+	HandleProbe(ProbeEvent)
+	HandleTransfer(TransferEvent)
+}
+
+// BitflipPlan schedules one memory bitflip affecting a transfer.
+type BitflipPlan struct {
+	VPIdx  int
+	Letter rss.Letter
+	Family topology.Family
+	Old    bool
+	At     time.Time
+	// FlipName corrupts an owner name instead of a signature (the paper's
+	// .ruhr case).
+	FlipName bool
+}
+
+// SkewWindow gives one VP a broken clock during a window.
+type SkewWindow struct {
+	VPIdx      int
+	Start, End time.Time
+	Skew       time.Duration
+}
+
+// StaleWindow makes specific deployment sites serve a stale zone copy.
+type StaleWindow struct {
+	Letter     rss.Letter
+	SiteIDs    []string
+	Start, End time.Time
+	// Age is how far behind the stale copy's signatures are.
+	Age time.Duration
+}
+
+// FaultPlan is the campaign's injected-fault schedule. DefaultFaultPlan
+// mirrors the paper's Table 2 observations.
+type FaultPlan struct {
+	Bitflips []BitflipPlan
+	Skews    []SkewWindow
+	Stales   []StaleWindow
+	Loss     faults.LossModel
+}
+
+// DefaultFaultPlan reproduces Table 2's shape: eight bitflipped transfers on
+// three VPs across five servers, two clock-skew VPs (one brief, one
+// spanning 2023-12-21 to 2023-12-23), and two stale d.root sites (the
+// paper's Tokyo and Leeds cases, 2023-08-16 and 2023-10-06).
+func DefaultFaultPlan(d *anycast.Deployment) FaultPlan {
+	day := func(m time.Month, d, h int) time.Time {
+		return time.Date(2023, m, d, h, 0, 0, 0, time.UTC)
+	}
+	// The paper's stale sites are d.root in Tokyo and Leeds — reachable
+	// global sites, one in Asia and one in Europe.
+	staleSites := make([]string, 0, 2)
+	for _, region := range []geo.Region{geo.Asia, geo.Europe} {
+		for _, s := range d.Sites {
+			if s.Kind == anycast.Global && s.City.Region == region {
+				staleSites = append(staleSites, s.ID)
+				break
+			}
+		}
+	}
+	for len(staleSites) < 2 && len(d.Sites) > len(staleSites) {
+		staleSites = append(staleSites, d.Sites[len(staleSites)].ID)
+	}
+	plan := FaultPlan{
+		Skews: []SkewWindow{
+			{VPIdx: 1, Start: day(time.December, 21, 10), End: day(time.December, 23, 11), Skew: -26 * time.Hour},
+			{VPIdx: 2, Start: day(time.October, 2, 22), End: day(time.October, 2, 23), Skew: -26 * time.Hour},
+		},
+		Stales: []StaleWindow{
+			{Letter: "d", SiteIDs: staleSites[:1], Start: day(time.August, 16, 10), End: day(time.August, 16, 12), Age: 40 * 24 * time.Hour},
+			{Letter: "d", SiteIDs: staleSites[1:], Start: day(time.October, 6, 10), End: day(time.October, 6, 14), Age: 40 * 24 * time.Hour},
+		},
+		Loss: faults.LossModel{Prob: 0.004, Seed: 77},
+	}
+	// Eight bitflips: three VPs, five distinct servers, one a name flip.
+	flips := []struct {
+		vp   int
+		l    rss.Letter
+		f    topology.Family
+		old  bool
+		m    time.Month
+		d, h int
+		name bool
+	}{
+		{3, "d", topology.IPv6, false, time.September, 26, 21, false},
+		{3, "d", topology.IPv6, false, time.October, 24, 10, false},
+		{4, "g", topology.IPv6, false, time.November, 18, 7, false},
+		{4, "b", topology.IPv4, true, time.November, 21, 6, true},
+		{5, "c", topology.IPv6, false, time.September, 26, 10, false},
+		{5, "g", topology.IPv4, false, time.October, 9, 7, false},
+		{5, "c", topology.IPv6, false, time.October, 2, 12, false},
+		{3, "d", topology.IPv6, false, time.October, 12, 9, false},
+	}
+	for _, fl := range flips {
+		plan.Bitflips = append(plan.Bitflips, BitflipPlan{
+			VPIdx: fl.vp, Letter: fl.l, Family: fl.f, Old: fl.old,
+			At: day(fl.m, fl.d, fl.h), FlipName: fl.name,
+		})
+	}
+	return plan
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Start and End bound the campaign; zero values take the paper's dates.
+	Start, End time.Time
+	// Scale thins the measurement schedule (1 = every 30/15 minutes).
+	Scale int
+	// TraceEvery runs the traceroute expansion only on every n-th tick per
+	// VP/target (1 = always); probes in between still carry route and RTT.
+	TraceEvery int
+	// TLDCount sizes the synthesized root zone.
+	TLDCount int
+	// Seed drives all stochastic choices.
+	Seed int64
+	// WireCheck runs the full Appendix-F query battery through an
+	// in-process authoritative server once per tick, verifying the wire
+	// codec, server logic, and zone contents end-to-end during the
+	// campaign. Failures are reported via Campaign.WireFailures.
+	WireCheck bool
+}
+
+// DefaultConfig is a harness-scale campaign: the full VP population and
+// target set on a thinned schedule.
+func DefaultConfig() Config {
+	return Config{
+		Start: StudyStart, End: StudyEnd,
+		Scale: 48, TraceEvery: 1, TLDCount: 80, Seed: 1,
+	}
+}
+
+// World bundles the simulated infrastructure a campaign runs against.
+type World struct {
+	Topo       *topology.Topology
+	System     *rss.System
+	Population *vantage.Population
+	Catchments map[rss.Letter]map[topology.Family]*anycast.Catchment
+	Signer     *dnssec.Signer
+	// BaseZone is the unsigned post-renumbering zone; BaseZonePre carries
+	// b.root's old glue, as the real root zone did before 2023-11-27.
+	BaseZone    *zone.Zone
+	BaseZonePre *zone.Zone
+	Anchor      dnswire.DSRecord
+}
+
+// NewWorld builds the full simulated world: topology, 13 deployments,
+// VP population, catchments, and the DNSSEC signer with its trust anchor.
+func NewWorld(cfg Config, topoCfg topology.Config, vpCfg vantage.Config) (*World, error) {
+	topo := topology.Build(topoCfg)
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	sys := rss.Build(topo, cfg.Seed)
+	pop := vantage.Generate(topo, vpCfg)
+	if len(pop.VPs) == 0 {
+		return nil, errors.New("measure: empty VP population")
+	}
+	signer, err := dnssec.NewSigner(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	zcfg := zone.DefaultRootConfig()
+	zcfg.TLDCount = cfg.TLDCount
+	zcfg.Seed = cfg.Seed
+	base := zone.SynthesizeRoot(zcfg)
+	zcfgPre := zcfg
+	zcfgPre.OldBRoot = true
+	basePre := zone.SynthesizeRoot(zcfgPre)
+	return &World{
+		Topo:        topo,
+		System:      sys,
+		Population:  pop,
+		Catchments:  sys.Catchments(),
+		Signer:      signer,
+		BaseZone:    base,
+		BaseZonePre: basePre,
+		Anchor:      signer.TrustAnchor().Data.(dnswire.DSRecord),
+	}, nil
+}
+
+// Campaign executes the measurement schedule over a world.
+type Campaign struct {
+	Cfg   Config
+	World *World
+	Plan  FaultPlan
+
+	traceCfg traceroute.Config
+	// signedZones caches fully signed+digested zones by (serial, state).
+	signedZones map[zoneKey]*zone.Zone
+	// validationCache caches fault classifications.
+	validationCache map[valKey]valResult
+	// batteries caches wire-check batteries per zone version.
+	batteries map[zoneKey]*Battery
+
+	// WireQueries and WireFailures accumulate the wire-check results when
+	// Config.WireCheck is enabled.
+	WireQueries  int
+	WireFailures []string
+}
+
+type zoneKey struct {
+	serial uint32
+	state  zonemd.RolloutState
+	stale  bool
+}
+
+type valKey struct {
+	serial uint32
+	state  zonemd.RolloutState
+	fault  faults.Kind
+	skewed bool
+}
+
+type valResult struct {
+	zonemdErr, dnssecErr error
+}
+
+// NewCampaign wires a campaign; the fault plan defaults to the paper's
+// Table 2 shape over d.root's sites.
+func NewCampaign(cfg Config, w *World) *Campaign {
+	if cfg.Start.IsZero() {
+		cfg.Start = StudyStart
+	}
+	if cfg.End.IsZero() {
+		cfg.End = StudyEnd
+	}
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.TraceEvery < 1 {
+		cfg.TraceEvery = 1
+	}
+	return &Campaign{
+		Cfg:             cfg,
+		World:           w,
+		Plan:            DefaultFaultPlan(w.System.Deployments["d"]),
+		traceCfg:        traceroute.DefaultConfig(),
+		signedZones:     make(map[zoneKey]*zone.Zone),
+		validationCache: make(map[valKey]valResult),
+		batteries:       make(map[zoneKey]*Battery),
+	}
+}
+
+// Run walks the schedule, emitting events to the handlers.
+func (c *Campaign) Run(handlers ...Handler) error {
+	ticks := Ticks(c.Cfg.Start, c.Cfg.End, c.Cfg.Scale)
+	targets := rss.AllServiceAddrs()
+	for _, tick := range ticks {
+		if c.Cfg.WireCheck {
+			if err := c.runWireCheck(tick); err != nil {
+				return err
+			}
+		}
+		for vpIdx := range c.World.Population.VPs {
+			vp := &c.World.Population.VPs[vpIdx]
+			for tIdx, target := range targets {
+				pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
+				for _, h := range handlers {
+					h.HandleProbe(pe)
+				}
+				if !tick.Time.Before(AXFRStart) {
+					te := c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
+					for _, h := range handlers {
+						h.HandleTransfer(te)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runWireCheck executes the Appendix-F battery against the current zone
+// version through an in-process server and accumulates any failures.
+func (c *Campaign) runWireCheck(tick Tick) error {
+	serial := SerialAt(tick.Time)
+	state := zonemd.StateAt(tick.Time)
+	key := zoneKey{serial, state, false}
+	battery, ok := c.batteries[key]
+	if !ok {
+		z, err := c.signedZone(serial, state, SerialPublishedAt(tick.Time), false)
+		if err != nil {
+			return err
+		}
+		battery, err = NewBattery(z, dnsserver.Identity{
+			Hostname: "wirecheck.local", Version: "repro-campaign",
+		})
+		if err != nil {
+			return err
+		}
+		// Keep the cache bounded: batteries are only useful for the
+		// current serial.
+		if len(c.batteries) > 8 {
+			c.batteries = make(map[zoneKey]*Battery)
+		}
+		c.batteries[key] = battery
+	}
+	res := battery.Run(rss.ServiceAddr{Letter: "a", Family: topology.IPv4}, "wirecheck.local")
+	c.WireQueries += res.Queries
+	if len(res.Failures) > 0 && len(c.WireFailures) < 100 {
+		for _, f := range res.Failures {
+			c.WireFailures = append(c.WireFailures, fmt.Sprintf("%s: %s", tick.Time.Format(time.RFC3339), f))
+		}
+	}
+	return nil
+}
+
+// probe performs the traceroute+query battery for one (tick, VP, target).
+func (c *Campaign) probe(tick Tick, vp *vantage.VP, vpIdx, tIdx int, target rss.ServiceAddr) (ProbeEvent, topology.Route, bool) {
+	pe := ProbeEvent{Tick: tick, VP: vp, VPIdx: vpIdx, Target: target}
+	catch := c.World.Catchments[target.Letter][target.Family]
+	route, ok := catch.SelectAt(vp.ASN, tick.Index, c.Cfg.Seed, c.Cfg.Scale)
+	if !ok || c.Plan.Loss.Lost(vpIdx, tIdx, tick.Index, 0) {
+		pe.Lost = true
+		return pe, route, ok
+	}
+	site, _ := c.World.System.Deployments[target.Letter].SiteByID(route.Origin.SiteID)
+	pe.SiteID = site.ID
+	pe.Identifier = site.Identifier
+	pe.Facility = site.Facility
+	pe.SiteCity = site.City
+	pe.SiteKind = site.Kind
+	pe.ASPath = route.ASPath
+
+	jitter := rttJitter(c.Cfg.Seed, vpIdx, tIdx, tick.Index)
+	pe.RTTms = rttFor(route, target.Family) + jitter
+
+	if tick.Index%c.Cfg.TraceEvery == 0 {
+		tr := traceroute.Run(c.World.Topo, route, site, target.Family, c.traceCfg, c.Cfg.Seed, tick.Index)
+		pe.SecondToLast, pe.STLOK = tr.SecondToLast()
+	}
+	return pe, route, true
+}
+
+// rttFor computes the path RTT, adding the open-v6 carrier's poor IPv4
+// performance (paper §6: 221 ms average v4 vs 23 ms v6 through AS6939).
+func rttFor(route topology.Route, f topology.Family) float64 {
+	rtt := geoRTT(route)
+	if f == topology.IPv4 {
+		for _, asn := range route.ASPath[1:max(1, len(route.ASPath))] {
+			if asn == topology.ASNOpenV6 {
+				rtt += 150 // congested v4 through the open-peering carrier
+				break
+			}
+		}
+	}
+	return rtt
+}
+
+func geoRTT(route topology.Route) float64 {
+	return geo.RTTms(route.PathKm, route.Hops()*2+2, 0.25)
+}
+
+// rttJitter adds deterministic per-probe noise.
+func rttJitter(seed int64, vpIdx, tIdx, tick int) float64 {
+	h := seed
+	for _, v := range []int{vpIdx, tIdx, tick} {
+		h = h*1099511628211 + int64(v) + 13
+	}
+	rng := mrand.New(mrand.NewSource(h))
+	return rng.Float64() * 2.0
+}
+
+// transfer performs the AXFR step and classifies its validation outcome.
+func (c *Campaign) transfer(tick Tick, vp *vantage.VP, vpIdx, tIdx int, target rss.ServiceAddr, route topology.Route, routed bool) TransferEvent {
+	te := TransferEvent{Tick: tick, VP: vp, VPIdx: vpIdx, Target: target}
+	if !routed || c.Plan.Loss.Lost(vpIdx, tIdx, tick.Index, 1) {
+		te.Lost = true
+		return te
+	}
+	serial := SerialAt(tick.Time)
+	te.Serial = serial
+	state := zonemd.StateAt(tick.Time)
+
+	fault, stale, skew := c.classifyFault(tick, vpIdx, target, route)
+	te.Fault = fault
+	switch fault {
+	case faults.None:
+		// Clean transfer of the canonical zone: valid by construction.
+		return te
+	case faults.ClockSkew:
+		res := c.validate(serial, state, fault, tick.Time, tick.Time.Add(skew), stale, nil)
+		te.ZonemdErr, te.DNSSECErr = res.zonemdErr, res.dnssecErr
+	case faults.StaleZone:
+		res := c.validate(serial, state, fault, tick.Time, tick.Time, stale, nil)
+		te.ZonemdErr, te.DNSSECErr = res.zonemdErr, res.dnssecErr
+		te.ComparisonMismatch = true // stale copy differs from the reference
+	case faults.BitflipSignature, faults.BitflipName:
+		var flip faults.Bitflip
+		res := c.validate(serial, state, fault, tick.Time, tick.Time, stale, &flip)
+		te.ZonemdErr, te.DNSSECErr = res.zonemdErr, res.dnssecErr
+		te.Bitflip = &flip
+		te.ComparisonMismatch = true // any flip differs from the reference
+	}
+	return te
+}
+
+// classifyFault decides which planned fault (if any) hits this transfer.
+// The returned StaleWindow pointer carries staleness parameters; the
+// returned duration is the clock skew for ClockSkew faults.
+func (c *Campaign) classifyFault(tick Tick, vpIdx int, target rss.ServiceAddr, route topology.Route) (faults.Kind, *StaleWindow, time.Duration) {
+	interval := BaseInterval(tick.Time) * time.Duration(c.Cfg.Scale)
+	for _, b := range c.Plan.Bitflips {
+		if b.VPIdx == vpIdx && b.Letter == target.Letter && b.Family == target.Family &&
+			b.Old == target.Old && !tick.Time.Before(b.At) && tick.Time.Before(b.At.Add(interval)) {
+			if b.FlipName {
+				return faults.BitflipName, nil, 0
+			}
+			return faults.BitflipSignature, nil, 0
+		}
+	}
+	// Windows are matched by overlap with the tick's covered interval so a
+	// thinned schedule (large Scale) still observes short fault windows,
+	// like the paper's 15-minute cadence observed its multi-hour events.
+	overlaps := func(start, end time.Time) bool {
+		return tick.Time.Before(end) && tick.Time.Add(interval).After(start)
+	}
+	for _, s := range c.Plan.Skews {
+		if s.VPIdx == vpIdx && overlaps(s.Start, s.End) {
+			return faults.ClockSkew, nil, s.Skew
+		}
+	}
+	for i := range c.Plan.Stales {
+		s := &c.Plan.Stales[i]
+		if s.Letter != target.Letter || !overlaps(s.Start, s.End) {
+			continue
+		}
+		for _, id := range s.SiteIDs {
+			if id == route.Origin.SiteID {
+				return faults.StaleZone, s, 0
+			}
+		}
+	}
+	return faults.None, nil, 0
+}
+
+// signedZone returns (building and caching as needed) the fully signed and
+// ZONEMD-attached zone for a serial. Stale copies are signed with an old
+// inception so their signatures are genuinely expired.
+func (c *Campaign) signedZone(serial uint32, state zonemd.RolloutState, signTime time.Time, stale bool) (*zone.Zone, error) {
+	key := zoneKey{serial, state, stale}
+	if z, ok := c.signedZones[key]; ok {
+		return z, nil
+	}
+	baseZone := c.World.BaseZone
+	if zone.SerialCompare(serial, 2023112700) < 0 {
+		baseZone = c.World.BaseZonePre
+	}
+	base := baseZone.BumpSerial(serial)
+	signed, err := c.World.Signer.Sign(base, signTime)
+	if err != nil {
+		return nil, err
+	}
+	z, err := zonemd.AttachAndSign(signed, c.World.Signer, state, signTime)
+	if err != nil {
+		return nil, err
+	}
+	c.signedZones[key] = z
+	return z, nil
+}
+
+// validate builds the (possibly faulty) zone a transfer would deliver and
+// runs the full ldns-style validation, caching by fault class.
+func (c *Campaign) validate(serial uint32, state zonemd.RolloutState, fault faults.Kind, now, vpNow time.Time, stale *StaleWindow, flipOut *faults.Bitflip) valResult {
+	key := valKey{serial, state, fault, !vpNow.Equal(now)}
+	if res, ok := c.validationCache[key]; ok && flipOut == nil {
+		return res
+	}
+	signTime := SerialPublishedAt(now)
+	zstale := false
+	if fault == faults.StaleZone && stale != nil {
+		signTime = signTime.Add(-stale.Age)
+		zstale = true
+	}
+	z, err := c.signedZone(serial, state, signTime, zstale)
+	if err != nil {
+		return valResult{dnssecErr: err}
+	}
+	if fault == faults.BitflipSignature || fault == faults.BitflipName {
+		z = z.Clone()
+		rng := mrand.New(mrand.NewSource(c.Cfg.Seed ^ int64(serial)))
+		var flip faults.Bitflip
+		var ok bool
+		if fault == faults.BitflipName {
+			flip, ok = faults.FlipNameBit(z, rng)
+		} else {
+			flip, ok = faults.FlipSignatureBit(z, rng)
+		}
+		if !ok {
+			return valResult{dnssecErr: fmt.Errorf("measure: could not inject %s", fault)}
+		}
+		if flipOut != nil {
+			*flipOut = flip
+		}
+	}
+	zErr, dErr := zonemd.FullValidation(z, c.World.Anchor, vpNow)
+	res := valResult{zonemdErr: zErr, dnssecErr: dErr}
+	if flipOut == nil || fault == faults.ClockSkew || fault == faults.StaleZone {
+		c.validationCache[key] = res
+	}
+	return res
+}

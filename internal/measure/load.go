@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/rss"
+)
+
+// QueriesPerTarget is the size of the per-address query battery (Appendix
+// F): AXFR, ZONEMD, two NS queries, four CHAOS probes, and A/AAAA/TXT for
+// each of the 13 root server names.
+const QueriesPerTarget = 1 + 1 + 2 + 4 + 13*3
+
+// LoadReport quantifies the campaign's footprint on the measured system,
+// the accounting the paper's ethics section (Appendix B) performs: queries
+// per measurement round, the global in-flight bound, and the share of the
+// root server system's daily load.
+type LoadReport struct {
+	VPs              int
+	Targets          int
+	QueriesPerRound  int
+	RoundsPerDay     float64
+	QueriesPerDay    float64
+	MaxInFlight      int
+	ShareOfRSSDailyQ float64
+}
+
+// rssDailyQueries is the root server system's aggregate daily query volume
+// the paper's ethics budget assumes (>50B queries/day).
+const rssDailyQueries = 50e9
+
+// ComputeLoad derives the footprint of a campaign configuration at the
+// paper's full fidelity (scale 1); thinned schedules divide proportionally.
+func ComputeLoad(vps int, at time.Time) LoadReport {
+	targets := len(rss.AllServiceAddrs())
+	perRound := vps * targets * QueriesPerTarget
+	roundsPerDay := (24 * time.Hour).Seconds() / BaseInterval(at).Seconds()
+	r := LoadReport{
+		VPs:             vps,
+		Targets:         targets,
+		QueriesPerRound: perRound,
+		RoundsPerDay:    roundsPerDay,
+		QueriesPerDay:   float64(perRound) * roundsPerDay,
+		// The script serializes queries per VP, so at most one query per VP
+		// is in flight globally (Appendix B).
+		MaxInFlight: vps,
+	}
+	r.ShareOfRSSDailyQ = r.QueriesPerDay / rssDailyQueries
+	return r
+}
+
+// Write renders the ethics accounting.
+func (r LoadReport) Write(w io.Writer) {
+	fmt.Fprintln(w, "Measurement footprint (Appendix B accounting)")
+	fmt.Fprintf(w, "  %d VPs x %d targets x %d queries = %d queries per round\n",
+		r.VPs, r.Targets, QueriesPerTarget, r.QueriesPerRound)
+	fmt.Fprintf(w, "  %.0f rounds/day -> %.2e queries/day\n", r.RoundsPerDay, r.QueriesPerDay)
+	fmt.Fprintf(w, "  at most %d queries in flight globally (serialized per VP)\n", r.MaxInFlight)
+	fmt.Fprintf(w, "  share of RSS daily load: %.4f%% (paper budget: < 0.1%%)\n",
+		r.ShareOfRSSDailyQ*100)
+}

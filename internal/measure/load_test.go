@@ -1,0 +1,56 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueriesPerTarget(t *testing.T) {
+	// Appendix F: 47 queries per root server IP per round.
+	if QueriesPerTarget != 47 {
+		t.Errorf("QueriesPerTarget = %d, want 47", QueriesPerTarget)
+	}
+}
+
+func TestComputeLoadMatchesPaperBudget(t *testing.T) {
+	// The paper: 888,300 queries per measurement round at 675 VPs.
+	at := time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC) // 30-minute cadence
+	r := ComputeLoad(675, at)
+	if r.QueriesPerRound != 675*28*47 {
+		t.Errorf("queries per round = %d", r.QueriesPerRound)
+	}
+	// Note: the paper counts 888,300 = 675 x 28 x 47; our target count
+	// matches its arithmetic exactly.
+	if r.QueriesPerRound != 888300 {
+		t.Errorf("queries per round = %d, want 888300", r.QueriesPerRound)
+	}
+	if r.MaxInFlight != 675 {
+		t.Errorf("max in flight = %d, want 675 (serialized per VP)", r.MaxInFlight)
+	}
+	if r.RoundsPerDay != 48 {
+		t.Errorf("rounds/day = %.1f, want 48", r.RoundsPerDay)
+	}
+	// Share of RSS load must stay under the paper's 0.1% ceiling.
+	if r.ShareOfRSSDailyQ >= 0.001 {
+		t.Errorf("share of RSS load = %.5f, must be < 0.1%%", r.ShareOfRSSDailyQ)
+	}
+}
+
+func TestComputeLoadFastWindow(t *testing.T) {
+	at := time.Date(2023, 9, 15, 0, 0, 0, 0, time.UTC) // 15-minute cadence
+	r := ComputeLoad(675, at)
+	if r.RoundsPerDay != 96 {
+		t.Errorf("fast-window rounds/day = %.1f, want 96", r.RoundsPerDay)
+	}
+}
+
+func TestLoadReportRendering(t *testing.T) {
+	var sb strings.Builder
+	ComputeLoad(675, time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)).Write(&sb)
+	for _, want := range []string{"888300", "in flight", "share of RSS"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("load report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package passive
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+// IXPSite is one of the 14 exchanges of the IXP-DNS-1 dataset: a passive
+// vantage with its own resolver population, sized by the exchange's scale.
+type IXPSite struct {
+	Name   string
+	Region geo.Region
+	Model  *Model
+}
+
+// MultiIXP is the 14-exchange passive platform (paper §4.1: IXPs in Europe
+// and North America).
+type MultiIXP struct {
+	Sites []IXPSite
+}
+
+// ixpCatalog names the modeled exchanges with a relative size factor
+// (member traffic scale). Names are descriptive of the metro, not of any
+// specific operator.
+var ixpCatalog = []struct {
+	name   string
+	region geo.Region
+	size   float64
+}{
+	{"IX-FRA", geo.Europe, 3.0},
+	{"IX-AMS", geo.Europe, 2.6},
+	{"IX-LHR", geo.Europe, 2.2},
+	{"IX-CDG", geo.Europe, 1.2},
+	{"IX-WAW", geo.Europe, 0.7},
+	{"IX-MAD", geo.Europe, 0.6},
+	{"IX-ARN", geo.Europe, 0.6},
+	{"IX-VIE", geo.Europe, 0.5},
+	{"IX-PRG", geo.Europe, 0.4},
+	{"IX-JFK", geo.NorthAmerica, 1.8},
+	{"IX-IAD", geo.NorthAmerica, 1.6},
+	{"IX-ORD", geo.NorthAmerica, 1.0},
+	{"IX-SEA", geo.NorthAmerica, 0.8},
+	{"IX-MIA", geo.NorthAmerica, 0.7},
+}
+
+// NewMultiIXP builds all 14 exchange models. baseClients scales the
+// population of a size-1.0 exchange.
+func NewMultiIXP(baseClients int, seed int64) *MultiIXP {
+	m := &MultiIXP{}
+	for i, entry := range ixpCatalog {
+		var cfg ModelConfig
+		if entry.region == geo.Europe {
+			cfg = IXPConfigEU(int(float64(baseClients)*entry.size), seed+int64(i))
+		} else {
+			cfg = IXPConfigNA(int(float64(baseClients)*entry.size), seed+int64(i))
+		}
+		cfg.Name = entry.name
+		m.Sites = append(m.Sites, IXPSite{
+			Name:   entry.name,
+			Region: entry.region,
+			Model:  NewModel(cfg),
+		})
+	}
+	return m
+}
+
+// RegionShift aggregates the in-family b.root shift over one region's
+// exchanges, traffic-weighted.
+func (m *MultiIXP) RegionShift(region geo.Region, f topology.Family, start, end time.Time) float64 {
+	var newSum, oldSum float64
+	for _, site := range m.Sites {
+		if site.Region != region {
+			continue
+		}
+		series := site.Model.TrafficSeries(start, end, []Target{
+			{Letter: "b", Family: f, Old: false},
+			{Letter: "b", Family: f, Old: true},
+		})
+		newSum += series[0].Total()
+		oldSum += series[1].Total()
+	}
+	if newSum+oldSum == 0 {
+		return 0
+	}
+	return newSum / (newSum + oldSum)
+}
+
+// PerIXPShift returns each exchange's in-family shift, sorted by name.
+func (m *MultiIXP) PerIXPShift(f topology.Family, start, end time.Time) map[string]float64 {
+	out := make(map[string]float64, len(m.Sites))
+	for _, site := range m.Sites {
+		out[site.Name] = site.Model.ShiftRatio(f, start, end)
+	}
+	return out
+}
+
+// WriteDetail renders the per-exchange adoption table (the disaggregated
+// form of the paper's Fig. 9).
+func (m *MultiIXP) WriteDetail(w io.Writer, f topology.Family, start, end time.Time) {
+	fmt.Fprintf(w, "Per-IXP %s b.root adoption (share on new prefix)\n", f)
+	shifts := m.PerIXPShift(f, start, end)
+	names := make([]string, 0, len(shifts))
+	for n := range shifts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var region geo.Region
+		for _, s := range m.Sites {
+			if s.Name == n {
+				region = s.Region
+			}
+		}
+		fmt.Fprintf(w, "  %-8s %-14s %5.1f%%\n", n, region, shifts[n]*100)
+	}
+	fmt.Fprintf(w, "  aggregate: Europe %.1f%%, North America %.1f%%\n",
+		m.RegionShift(geo.Europe, f, start, end)*100,
+		m.RegionShift(geo.NorthAmerica, f, start, end)*100)
+}

@@ -1,0 +1,216 @@
+// Package stats provides the descriptive statistics the analyses print:
+// empirical CDFs and complementary CDFs, quantiles, distribution summaries
+// for violin/box plots, histograms, and time-series bucketing.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation. It returns NaN on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean (NaN on empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (NaN on empty input).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// ECDFPoint is one step of an empirical CDF.
+type ECDFPoint struct {
+	X float64
+	P float64 // P(value <= X)
+}
+
+// ECDF returns the empirical CDF of xs as step points at distinct values.
+func ECDF(xs []float64) []ECDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var out []ECDFPoint
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, ECDFPoint{X: s[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CCDF returns the complementary CDF P(value > X) at distinct values —
+// the form of the paper's Fig. 3 ("1 - Prop. VPs").
+func CCDF(xs []float64) []ECDFPoint {
+	cdf := ECDF(xs)
+	out := make([]ECDFPoint, len(cdf))
+	for i, p := range cdf {
+		out[i] = ECDFPoint{X: p.X, P: 1 - p.P}
+	}
+	return out
+}
+
+// CCDFAt evaluates the CCDF at x: the fraction of samples strictly greater
+// than x.
+func CCDFAt(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range xs {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Summary is a distribution summary, as a violin/box plot would render.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, P25, P50, P75 float64
+	P90, P99, Max      float64
+}
+
+// Summarize computes a Summary (zero value on empty input, with N=0).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Quantile(xs, 0),
+		P25:    Quantile(xs, 0.25),
+		P50:    Quantile(xs, 0.5),
+		P75:    Quantile(xs, 0.75),
+		P90:    Quantile(xs, 0.90),
+		P99:    Quantile(xs, 0.99),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.1f p25=%.1f p50=%.1f p75=%.1f p90=%.1f max=%.1f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P25, s.P50, s.P75, s.P90, s.Max)
+}
+
+// Histogram bins xs into width-w bins starting at 0 and returns counts
+// indexed by bin.
+func Histogram(xs []float64, w float64, bins int) []int {
+	out := make([]int, bins)
+	for _, x := range xs {
+		b := int(x / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b]++
+	}
+	return out
+}
+
+// Bucket is one time-series bucket.
+type Bucket struct {
+	Start time.Time
+	Sum   float64
+	N     int
+}
+
+// TimeBuckets aggregates (t, v) samples into fixed-width buckets between
+// start and end. Samples outside the window are dropped.
+func TimeBuckets(start, end time.Time, width time.Duration, ts []time.Time, vs []float64) []Bucket {
+	if width <= 0 || !end.After(start) || len(ts) != len(vs) {
+		return nil
+	}
+	n := int(end.Sub(start)/width) + 1
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Start = start.Add(time.Duration(i) * width)
+	}
+	for i, t := range ts {
+		if t.Before(start) || t.After(end) {
+			continue
+		}
+		b := int(t.Sub(start) / width)
+		if b >= 0 && b < n {
+			out[b].Sum += vs[i]
+			out[b].N++
+		}
+	}
+	return out
+}
+
+// Normalize scales xs so the maximum is 1 (no-op on empty or all-zero).
+func Normalize(xs []float64) []float64 {
+	var maxV float64
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	out := make([]float64, len(xs))
+	if maxV == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / maxV
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+	// Interpolation between values.
+	if got := Quantile([]float64{0, 10}, 0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("interpolated median = %v", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty mean/stddev not NaN")
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		cdf := ECDF(xs)
+		if len(cdf) == 0 {
+			return false
+		}
+		prevX, prevP := math.Inf(-1), 0.0
+		for _, p := range cdf {
+			if p.X <= prevX {
+				return false // strictly increasing X
+			}
+			if p.P < prevP || p.P < 0 || p.P > 1 {
+				return false // monotone in [0,1]
+			}
+			prevX, prevP = p.X, p.P
+		}
+		return math.Abs(cdf[len(cdf)-1].P-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	if got := CCDFAt(xs, 0); got != 1 {
+		t.Errorf("CCDFAt(0) = %v", got)
+	}
+	if got := CCDFAt(xs, 2); got != 0.25 {
+		t.Errorf("CCDFAt(2) = %v", got)
+	}
+	if got := CCDFAt(xs, 5); got != 0 {
+		t.Errorf("CCDFAt(5) = %v", got)
+	}
+	ccdf := CCDF(xs)
+	if ccdf[len(ccdf)-1].P != 0 {
+		t.Error("CCDF must end at 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 || s.P50 != 50 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P25 != 25 || s.P75 != 75 || s.P90 != 90 {
+		t.Errorf("quartiles = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary N != 0")
+	}
+	if Summarize(nil).String() != "n=0" {
+		t.Error("empty summary string")
+	}
+	if s.String() == "" {
+		t.Error("summary string empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.6, 99, -3}
+	h := Histogram(xs, 1, 10)
+	if h[0] != 2 { // 0.5 and the clamped -3
+		t.Errorf("bin 0 = %d", h[0])
+	}
+	if h[1] != 2 {
+		t.Errorf("bin 1 = %d", h[1])
+	}
+	if h[9] != 1 { // 99 clamps into the last bin
+		t.Errorf("bin 9 = %d", h[9])
+	}
+}
+
+func TestTimeBuckets(t *testing.T) {
+	start := time.Date(2023, 11, 27, 0, 0, 0, 0, time.UTC)
+	end := start.Add(4 * time.Hour)
+	ts := []time.Time{
+		start.Add(10 * time.Minute),
+		start.Add(70 * time.Minute),
+		start.Add(80 * time.Minute),
+		start.Add(-time.Hour),    // dropped
+		end.Add(2 * time.Minute), // dropped
+	}
+	vs := []float64{1, 2, 3, 100, 100}
+	bs := TimeBuckets(start, end, time.Hour, ts, vs)
+	if len(bs) != 5 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	if bs[0].Sum != 1 || bs[0].N != 1 {
+		t.Errorf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Sum != 5 || bs[1].N != 2 {
+		t.Errorf("bucket 1 = %+v", bs[1])
+	}
+	if TimeBuckets(end, start, time.Hour, ts, vs) != nil {
+		t.Error("inverted window accepted")
+	}
+	if TimeBuckets(start, end, time.Hour, ts, vs[:2]) != nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("normalize[%d] = %v", i, got[i])
+		}
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("all-zero normalize")
+	}
+}
+
+func TestQuantileWithinRange(t *testing.T) {
+	f := func(seed int64, q float64) bool {
+		q = math.Abs(math.Mod(q, 1))
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		v := Quantile(xs, q)
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package traceroute simulates the mtr step of the measurement battery: it
+// expands an AS-level route into router-level hops, models unresponsive
+// hops, and extracts the second-to-last hop the paper's co-location analysis
+// keys on. Router identities are deterministic per (AS, family) — except the
+// final two hops, which are derived from the destination site's facility, so
+// that co-located sites of different letters genuinely share last-hop
+// infrastructure.
+package traceroute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anycast"
+	"repro/internal/topology"
+)
+
+// Hop is one traceroute hop.
+type Hop struct {
+	// Router identifies the responding interface ("" when the hop did not
+	// answer, which the analysis must treat as unique).
+	Router string
+	// ASN is the AS the router belongs to (0 when unresponsive).
+	ASN int
+	// RTTms is the round-trip time to this hop.
+	RTTms float64
+}
+
+// Trace is one completed traceroute.
+type Trace struct {
+	// DestSite is the anycast site the probe landed on.
+	DestSite anycast.Site
+	Family   topology.Family
+	Hops     []Hop
+}
+
+// SecondToLast returns the identity of the second-to-last responding hop —
+// the facility-edge router in front of the destination. The second return
+// is false when the hop was unresponsive (missed by traceroute), in which
+// case the co-location analysis counts it as unique.
+func (t Trace) SecondToLast() (string, bool) {
+	if len(t.Hops) < 2 {
+		return "", false
+	}
+	h := t.Hops[len(t.Hops)-2]
+	return h.Router, h.Router != ""
+}
+
+// Config tunes trace expansion.
+type Config struct {
+	// RoutersPerAS is how many router hops each transit AS contributes.
+	RoutersPerAS int
+	// MissProb is the probability a non-terminal hop does not respond.
+	MissProb float64
+	// PerHopMs is the queueing/processing delay added per hop.
+	PerHopMs float64
+}
+
+// DefaultConfig matches typical mtr output shapes.
+func DefaultConfig() Config {
+	return Config{RoutersPerAS: 2, MissProb: 0.08, PerHopMs: 0.25}
+}
+
+// Run expands route (from a client in srcASN) into a Trace. The last hop is
+// the destination itself; the second-to-last is the facility edge router of
+// the destination site, shared by every deployment at that facility. The
+// expansion is deterministic in (srcASN, route, seed, tick).
+func Run(topo *topology.Topology, route topology.Route, site anycast.Site, f topology.Family, cfg Config, seed int64, tick int) Trace {
+	rng := rand.New(rand.NewSource(seed ^ int64(tick)<<32 ^ int64(route.Origin.ASN)<<8 ^ int64(len(route.ASPath))))
+	tr := Trace{DestSite: site, Family: f}
+
+	totalKm := route.PathKm
+	hops := 0
+	// Interior hops: RoutersPerAS per transit AS on the path (excluding the
+	// destination AS's facility hops added below).
+	kmSoFar := 0.0
+	n := len(route.ASPath)
+	for i := 0; i < n; i++ {
+		asn := route.ASPath[i]
+		// Accumulate distance to this AS.
+		if i > 0 {
+			a := topo.ASes[route.ASPath[i-1]]
+			b := topo.ASes[asn]
+			if a != nil && b != nil {
+				kmSoFar += segKm(totalKm, n, i)
+				_ = a
+				_ = b
+			}
+		}
+		routers := cfg.RoutersPerAS
+		if i == n-1 {
+			routers = 1 // destination AS interior; facility hops follow
+		}
+		for rIdx := 0; rIdx < routers; rIdx++ {
+			hops++
+			router := fmt.Sprintf("as%d-r%d-%s", asn, rIdx+1, f)
+			if rng.Float64() < cfg.MissProb {
+				router = ""
+			}
+			tr.Hops = append(tr.Hops, Hop{
+				Router: router,
+				ASN:    asn,
+				RTTms:  kmSoFar*0.01 + float64(hops)*cfg.PerHopMs,
+			})
+		}
+	}
+
+	// Facility edge router: shared across deployments at the facility.
+	hops++
+	edge := fmt.Sprintf("fac-%s-edge-%s", site.Facility, f)
+	if rng.Float64() < cfg.MissProb/2 {
+		edge = "" // rarely missed
+	}
+	tr.Hops = append(tr.Hops, Hop{
+		Router: edge,
+		ASN:    route.Origin.ASN,
+		RTTms:  totalKm*0.01 + float64(hops)*cfg.PerHopMs,
+	})
+
+	// Destination.
+	hops++
+	tr.Hops = append(tr.Hops, Hop{
+		Router: fmt.Sprintf("site-%s-%s", site.ID, f),
+		ASN:    route.Origin.ASN,
+		RTTms:  totalKm*0.01 + float64(hops)*cfg.PerHopMs,
+	})
+	return tr
+}
+
+// segKm apportions the total path distance over the inter-AS segments.
+func segKm(totalKm float64, nASes, _ int) float64 {
+	if nASes <= 1 {
+		return 0
+	}
+	return totalKm / float64(nASes-1)
+}
+
+// DestRTT returns the RTT to the destination (the last hop).
+func (t Trace) DestRTT() float64 {
+	if len(t.Hops) == 0 {
+		return 0
+	}
+	return t.Hops[len(t.Hops)-1].RTTms
+}

@@ -1,0 +1,162 @@
+package traceroute
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anycast"
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T) (*topology.Topology, *anycast.Deployment, *anycast.Deployment) {
+	t.Helper()
+	cfg := topology.Config{
+		Seed: 9,
+		StubsPerRegion: map[geo.Region]int{
+			geo.Africa: 3, geo.Asia: 6, geo.Europe: 20,
+			geo.NorthAmerica: 10, geo.SouthAmerica: 4, geo.Oceania: 4,
+		},
+		Tier2PerRegion: map[geo.Region]int{
+			geo.Africa: 2, geo.Asia: 2, geo.Europe: 4,
+			geo.NorthAmerica: 3, geo.SouthAmerica: 2, geo.Oceania: 2,
+		},
+	}
+	topo := topology.Build(cfg)
+	b := anycast.NewBuilder(topo, 2)
+	d1 := &anycast.Deployment{Name: "p"}
+	d1.Sites = b.PlaceSites("p", anycast.Global, geo.Europe, 5)
+	d2 := &anycast.Deployment{Name: "q"}
+	d2.Sites = b.PlaceSites("q", anycast.Global, geo.Europe, 5)
+	return topo, d1, d2
+}
+
+func TestRunShape(t *testing.T) {
+	topo, d, _ := setup(t)
+	c := anycast.ComputeCatchment(topo, d, topology.IPv4)
+	asn := topo.StubASNs(nil)[0]
+	route, ok := c.Route(asn)
+	if !ok {
+		t.Fatal("unroutable")
+	}
+	site, _ := d.SiteByID(route.Origin.SiteID)
+	tr := Run(topo, route, site, topology.IPv4, DefaultConfig(), 1, 0)
+
+	if len(tr.Hops) < 3 {
+		t.Fatalf("only %d hops", len(tr.Hops))
+	}
+	last := tr.Hops[len(tr.Hops)-1]
+	if !strings.HasPrefix(last.Router, "site-") {
+		t.Errorf("last hop %q is not the site", last.Router)
+	}
+	// RTT must be monotonically plausible: final >= first.
+	if tr.DestRTT() < tr.Hops[0].RTTms {
+		t.Error("destination RTT below first hop RTT")
+	}
+	// Second-to-last identifies the facility when responsive.
+	if stl, ok := tr.SecondToLast(); ok && !strings.HasPrefix(stl, "fac-") {
+		t.Errorf("second-to-last %q is not a facility edge", stl)
+	}
+}
+
+func TestColocatedDeploymentsShareSecondToLast(t *testing.T) {
+	topo, d1, d2 := setup(t)
+	// Find a facility hosting sites of both deployments.
+	facOf := map[string]bool{}
+	for _, s := range d1.Sites {
+		facOf[s.Facility] = true
+	}
+	var shared string
+	for _, s := range d2.Sites {
+		if facOf[s.Facility] {
+			shared = s.Facility
+			break
+		}
+	}
+	if shared == "" {
+		t.Skip("no shared facility in this topology draw")
+	}
+	var s1, s2 anycast.Site
+	for _, s := range d1.Sites {
+		if s.Facility == shared {
+			s1 = s
+		}
+	}
+	for _, s := range d2.Sites {
+		if s.Facility == shared {
+			s2 = s
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MissProb = 0 // deterministic responsiveness for the assertion
+	route1 := topology.Route{Origin: topology.Origin{SiteID: s1.ID, ASN: s1.HostASN}, ASPath: []int{1000, s1.HostASN}, PathKm: 100}
+	route2 := topology.Route{Origin: topology.Origin{SiteID: s2.ID, ASN: s2.HostASN}, ASPath: []int{1000, s2.HostASN}, PathKm: 100}
+	t1 := Run(topo, route1, s1, topology.IPv4, cfg, 1, 0)
+	t2 := Run(topo, route2, s2, topology.IPv4, cfg, 1, 0)
+	stl1, ok1 := t1.SecondToLast()
+	stl2, ok2 := t2.SecondToLast()
+	if !ok1 || !ok2 {
+		t.Fatal("second-to-last unresponsive with MissProb 0")
+	}
+	if stl1 != stl2 {
+		t.Errorf("co-located sites have different last-hop infra: %q vs %q", stl1, stl2)
+	}
+}
+
+func TestFamiliesDistinctRouters(t *testing.T) {
+	topo, d, _ := setup(t)
+	c4 := anycast.ComputeCatchment(topo, d, topology.IPv4)
+	asn := topo.StubASNs(nil)[0]
+	route, ok := c4.Route(asn)
+	if !ok {
+		t.Fatal("unroutable")
+	}
+	site, _ := d.SiteByID(route.Origin.SiteID)
+	cfg := DefaultConfig()
+	cfg.MissProb = 0
+	t4 := Run(topo, route, site, topology.IPv4, cfg, 1, 0)
+	t6 := Run(topo, route, site, topology.IPv6, cfg, 1, 0)
+	stl4, _ := t4.SecondToLast()
+	stl6, _ := t6.SecondToLast()
+	if stl4 == stl6 {
+		t.Error("v4 and v6 share router identities; families must be distinct")
+	}
+}
+
+func TestMissedHops(t *testing.T) {
+	topo, d, _ := setup(t)
+	c := anycast.ComputeCatchment(topo, d, topology.IPv4)
+	cfg := DefaultConfig()
+	cfg.MissProb = 0.5
+	missed, total := 0, 0
+	for i, asn := range topo.StubASNs(nil) {
+		route, ok := c.Route(asn)
+		if !ok {
+			continue
+		}
+		site, _ := d.SiteByID(route.Origin.SiteID)
+		tr := Run(topo, route, site, topology.IPv4, cfg, int64(i), 0)
+		for _, h := range tr.Hops[:len(tr.Hops)-1] {
+			total++
+			if h.Router == "" {
+				missed++
+			}
+		}
+	}
+	if missed == 0 {
+		t.Error("MissProb 0.5 produced no missed hops")
+	}
+	if missed*10 < total { // at least ~10% missing with p=0.5
+		t.Errorf("missed %d/%d hops; too few for MissProb 0.5", missed, total)
+	}
+}
+
+func TestShortTraceSecondToLast(t *testing.T) {
+	tr := Trace{Hops: []Hop{{Router: "only"}}}
+	if _, ok := tr.SecondToLast(); ok {
+		t.Error("single-hop trace has a second-to-last")
+	}
+	if (Trace{}).DestRTT() != 0 {
+		t.Error("empty trace RTT")
+	}
+}

@@ -1,0 +1,170 @@
+// Package zone models DNS zones: ordered collections of resource records
+// with RRset grouping, master-file parsing and printing, canonical ordering,
+// and synthesis of a realistic root zone (TLD delegations with glue) for the
+// study's authoritative servers.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// Zone is a collection of resource records for one apex. Records are kept in
+// insertion order; Canonicalize sorts them into RFC 4034 §6 canonical order.
+type Zone struct {
+	Apex    dnswire.Name
+	Records []dnswire.RR
+}
+
+// New returns an empty zone rooted at apex.
+func New(apex dnswire.Name) *Zone {
+	return &Zone{Apex: apex}
+}
+
+// Add appends records to the zone.
+func (z *Zone) Add(rrs ...dnswire.RR) { z.Records = append(z.Records, rrs...) }
+
+// SOA returns the zone's SOA record. The second return is false when the
+// zone has none (an invalid zone; AXFR consumers treat it as an error).
+func (z *Zone) SOA() (dnswire.RR, bool) {
+	for _, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == z.Apex.Canonical() {
+			return rr, true
+		}
+	}
+	return dnswire.RR{}, false
+}
+
+// Serial returns the zone's SOA serial, or 0 when the zone has no SOA.
+func (z *Zone) Serial() uint32 {
+	soa, ok := z.SOA()
+	if !ok {
+		return 0
+	}
+	return soa.Data.(dnswire.SOARecord).Serial
+}
+
+// Lookup returns all records with the given owner name and type. Type
+// dnswire.TypeANY matches every type.
+func (z *Zone) Lookup(name dnswire.Name, typ dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	nc := name.Canonical()
+	for _, rr := range z.Records {
+		if rr.Name.Canonical() == nc && (typ == dnswire.TypeANY || rr.Type() == typ) {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// Names returns the distinct owner names in the zone, in canonical order.
+func (z *Zone) Names() []dnswire.Name {
+	seen := make(map[dnswire.Name]bool)
+	var names []dnswire.Name
+	for _, rr := range z.Records {
+		c := rr.Name.Canonical()
+		if !seen[c] {
+			seen[c] = true
+			names = append(names, c)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return dnswire.CompareCanonical(names[i], names[j]) < 0
+	})
+	return names
+}
+
+// Delegation returns the NS RRset delegating name, walking up from name
+// toward the apex, excluding the apex itself. It implements the referral
+// decision of an authoritative server.
+func (z *Zone) Delegation(name dnswire.Name) []dnswire.RR {
+	for n := name; !n.IsRoot() || z.Apex.IsRoot() && n == name; n = n.Parent() {
+		if n.Canonical() == z.Apex.Canonical() {
+			break
+		}
+		if nsset := z.Lookup(n, dnswire.TypeNS); len(nsset) > 0 {
+			return nsset
+		}
+		if n.IsRoot() {
+			break
+		}
+	}
+	return nil
+}
+
+// Glue returns the A and AAAA records for host if present in the zone.
+func (z *Zone) Glue(host dnswire.Name) []dnswire.RR {
+	glue := z.Lookup(host, dnswire.TypeA)
+	return append(glue, z.Lookup(host, dnswire.TypeAAAA)...)
+}
+
+// Canonicalize sorts the records into canonical order (owner name, class,
+// type, RDATA) and returns z for chaining.
+func (z *Zone) Canonicalize() *Zone {
+	sort.SliceStable(z.Records, func(i, j int) bool {
+		return dnswire.CanonicalRRLess(z.Records[i], z.Records[j])
+	})
+	return z
+}
+
+// Clone returns a deep-enough copy: the record slice is copied; RData values
+// are immutable by convention and shared.
+func (z *Zone) Clone() *Zone {
+	return &Zone{Apex: z.Apex, Records: append([]dnswire.RR(nil), z.Records...)}
+}
+
+// WithoutType returns a copy of z with all records of type t removed.
+func (z *Zone) WithoutType(t dnswire.Type) *Zone {
+	out := New(z.Apex)
+	for _, rr := range z.Records {
+		if rr.Type() != t {
+			out.Add(rr)
+		}
+	}
+	return out
+}
+
+// BumpSerial returns a copy of z with the SOA serial replaced.
+func (z *Zone) BumpSerial(serial uint32) *Zone {
+	out := New(z.Apex)
+	for _, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA {
+			soa := rr.Data.(dnswire.SOARecord)
+			soa.Serial = serial
+			rr.Data = soa
+		}
+		out.Add(rr)
+	}
+	return out
+}
+
+// String renders the zone in master-file format.
+func (z *Zone) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; zone %s, serial %d, %d records\n", z.Apex, z.Serial(), len(z.Records))
+	for _, rr := range z.Records {
+		sb.WriteString(rr.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SerialCompare compares two SOA serials using RFC 1982 serial-number
+// arithmetic: it returns -1, 0, or 1 when a precedes, equals, or follows b.
+func SerialCompare(a, b uint32) int {
+	if a == b {
+		return 0
+	}
+	if (a < b && b-a < 1<<31) || (a > b && a-b > 1<<31) {
+		return -1
+	}
+	return 1
+}
+
+// SerialForDate returns the conventional YYYYMMDDNN root-zone serial.
+func SerialForDate(year, month, day, rev int) uint32 {
+	return uint32(year*1000000 + month*10000 + day*100 + rev)
+}

@@ -1,0 +1,207 @@
+package zonemd
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+var studyTime = time.Date(2023, 12, 10, 12, 0, 0, 0, time.UTC)
+
+func smallZone(t *testing.T) *zone.Zone {
+	t.Helper()
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = 15
+	return zone.SynthesizeRoot(cfg)
+}
+
+func TestAttachVerify(t *testing.T) {
+	z, err := Attach(smallZone(t), StateVerifiable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(z); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestVerifyNoRecord(t *testing.T) {
+	if err := Verify(smallZone(t)); !errors.Is(err, ErrNoZONEMD) {
+		t.Errorf("got %v, want ErrNoZONEMD", err)
+	}
+}
+
+func TestVerifyPlaceholderUnsupported(t *testing.T) {
+	z, err := Attach(smallZone(t), StatePlaceholder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(z); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("got %v, want ErrUnsupported", err)
+	}
+}
+
+func TestVerifySerialMismatch(t *testing.T) {
+	z, err := Attach(smallZone(t), StateVerifiable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := z.BumpSerial(z.Serial() + 1)
+	if err := Verify(bumped); !errors.Is(err, ErrSerialMismatch) {
+		t.Errorf("got %v, want ErrSerialMismatch", err)
+	}
+}
+
+func TestVerifyDetectsMutation(t *testing.T) {
+	z, err := Attach(smallZone(t), StateVerifiable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one glue record.
+	for i, rr := range z.Records {
+		if a, ok := rr.Data.(dnswire.ARecord); ok {
+			b := a.Addr.As4()
+			b[3] ^= 0x01
+			z.Records[i].Data = dnswire.ARecord{Addr: netip.AddrFrom4(b)}
+			break
+		}
+	}
+	if err := Verify(z); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("got %v, want ErrDigestMismatch", err)
+	}
+}
+
+func TestDigestOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		z := smallZone(t)
+		want, err := Digest(z)
+		if err != nil {
+			return false
+		}
+		shuffled := z.Clone()
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled.Records), func(i, j int) {
+			shuffled.Records[i], shuffled.Records[j] = shuffled.Records[j], shuffled.Records[i]
+		})
+		got, err := Digest(shuffled)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestIgnoresDuplicates(t *testing.T) {
+	z := smallZone(t)
+	want, err := Digest(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := z.Clone()
+	dup.Add(z.Records[len(z.Records)-1]) // duplicate one record
+	got, err := Digest(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("duplicate RR changed the digest")
+	}
+}
+
+func TestDigestExcludesApexZONEMD(t *testing.T) {
+	z, err := Attach(smallZone(t), StateVerifiable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRecord, err := Digest(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Digest(z.WithoutType(dnswire.TypeZONEMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(withRecord) != string(without) {
+		t.Error("apex ZONEMD affected the digest")
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want RolloutState
+	}{
+		{time.Date(2023, 7, 3, 0, 0, 0, 0, time.UTC), StateAbsent},
+		{time.Date(2023, 9, 13, 0, 0, 0, 0, time.UTC), StatePlaceholder},
+		{time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC), StatePlaceholder},
+		{time.Date(2023, 12, 6, 20, 30, 0, 0, time.UTC), StateVerifiable},
+		{time.Date(2023, 12, 24, 0, 0, 0, 0, time.UTC), StateVerifiable},
+	}
+	for _, c := range cases {
+		if got := StateAt(c.t); got != c.want {
+			t.Errorf("StateAt(%s) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFullValidationSignedZone(t *testing.T) {
+	signer, err := dnssec.NewSigner(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := signer.Sign(smallZone(t), studyTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := AttachAndSign(signed, signer, StateVerifiable, studyTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := signer.TrustAnchor().Data.(dnswire.DSRecord)
+	zErr, dErr := FullValidation(z, anchor, studyTime.Add(time.Hour))
+	if zErr != nil {
+		t.Errorf("zonemd: %v", zErr)
+	}
+	if dErr != nil {
+		t.Errorf("dnssec: %v", dErr)
+	}
+}
+
+func TestFullValidationPreRolloutZoneSkipsZonemd(t *testing.T) {
+	signer, err := dnssec.NewSigner(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := signer.Sign(smallZone(t), studyTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := signer.TrustAnchor().Data.(dnswire.DSRecord)
+	zErr, dErr := FullValidation(signed, anchor, studyTime.Add(time.Hour))
+	if zErr != nil {
+		t.Errorf("pre-rollout zonemd err: %v", zErr)
+	}
+	if dErr != nil {
+		t.Errorf("dnssec: %v", dErr)
+	}
+}
+
+func TestRolloutStateString(t *testing.T) {
+	for s, want := range map[RolloutState]string{
+		StateAbsent: "absent", StatePlaceholder: "placeholder", StateVerifiable: "verifiable",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

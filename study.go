@@ -1,0 +1,42 @@
+// Package repro reproduces the measurement study "The Roots Go Deep:
+// Measuring '.' Under Change" (IMC 2024) as a self-contained Go library.
+//
+// The paper measures the DNS root server system from 675 vantage points
+// over 174 days and from passive ISP/IXP taps around b.root's renumbering.
+// Because the real infrastructure and the proprietary traces are
+// inaccessible, this library builds the whole stack from scratch: a DNS
+// wire codec, zone model, DNSSEC signer/validator, ZONEMD (RFC 8976),
+// AXFR, authoritative servers and clients over real sockets, a
+// policy-routed synthetic Internet topology with the 13 root deployments
+// placed per the paper's published site counts, the NLNOG-RING-like
+// vantage population, the measurement campaign on the paper's timeline,
+// passive resolver-population models, and the analyses behind every table
+// and figure. See DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-vs-measured comparisons.
+//
+// Quick use:
+//
+//	study, err := repro.NewStudy(repro.QuickConfig())
+//	if err != nil { ... }
+//	if err := study.Run(); err != nil { ... }
+//	study.WriteReport(os.Stdout)
+package repro
+
+import "repro/internal/core"
+
+// Config parameterizes a study run. See core.Config for field semantics.
+type Config = core.Config
+
+// Study is a configured, runnable reproduction of the paper.
+type Study = core.Study
+
+// DefaultConfig runs the full vantage-point population on a thinned
+// measurement schedule, preserving the paper's shapes at benchmark cost.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// QuickConfig is a fast smoke-test configuration (scaled-down population
+// and schedule).
+func QuickConfig() Config { return core.QuickConfig() }
+
+// NewStudy builds the simulated world and wires every analysis.
+func NewStudy(cfg Config) (*Study, error) { return core.NewStudy(cfg) }
