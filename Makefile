@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench report
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: everything must build and every test must pass.
+test: build
+	$(GO) test ./...
+
+# Race coverage for the parallel campaign engine and the analyses it feeds.
+# TestCampaignManyWorkersRace drives a many-worker campaign across a fault
+# window so the single-flight caches are contended under the detector.
+race:
+	$(GO) test -race ./internal/measure/... ./internal/analysis/...
+
+# Regenerate the reproduction report via the benchmark harness.
+# BENCH_SCALE overrides schedule thinning (smaller = higher fidelity, slower).
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+report:
+	$(GO) run ./cmd/rootstudy -quick

@@ -218,6 +218,65 @@ func BenchmarkSection6ShiftRatios(b *testing.B) {
 	})
 }
 
+// --- Campaign engine scaling ----------------------------------------------
+
+var (
+	campaignWorldOnce sync.Once
+	campaignWorld     *measure.World
+	campaignWorldErr  error
+)
+
+// campaignBenchConfig is a QuickConfig-scale campaign: full target set, the
+// fault-richest stretch of the timeline, thinned schedule.
+func campaignBenchConfig(workers int) measure.Config {
+	cfg := measure.DefaultConfig()
+	cfg.Start = time.Date(2023, 11, 20, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC)
+	cfg.Scale = 16
+	cfg.TLDCount = 20
+	cfg.Workers = workers
+	return cfg
+}
+
+// countingHandler keeps the campaign honest without analysis cost.
+type countingHandler struct{ probes, transfers int }
+
+func (h *countingHandler) HandleProbe(measure.ProbeEvent)       { h.probes++ }
+func (h *countingHandler) HandleTransfer(measure.TransferEvent) { h.transfers++ }
+
+// benchmarkCampaignWorkers measures a full Campaign.Run at the given worker
+// count over a shared world, making the engine's core-scaling visible in the
+// bench trajectory.
+func benchmarkCampaignWorkers(b *testing.B, workers int) {
+	campaignWorldOnce.Do(func() {
+		cfg := campaignBenchConfig(1)
+		topoCfg := topology.DefaultConfig()
+		topoCfg.Seed = cfg.Seed
+		vpCfg := vantage.DefaultConfig()
+		vpCfg.Seed = cfg.Seed
+		vpCfg.Scale = 20
+		campaignWorld, campaignWorldErr = measure.NewWorld(cfg, topoCfg, vpCfg)
+	})
+	if campaignWorldErr != nil {
+		b.Fatal(campaignWorldErr)
+	}
+	cfg := campaignBenchConfig(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := &countingHandler{}
+		if err := measure.NewCampaign(cfg, campaignWorld).Run(h); err != nil {
+			b.Fatal(err)
+		}
+		if h.probes == 0 {
+			b.Fatal("campaign emitted no probes")
+		}
+	}
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchmarkCampaignWorkers(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchmarkCampaignWorkers(b, 4) }
+func BenchmarkCampaignWorkers8(b *testing.B) { benchmarkCampaignWorkers(b, 8) }
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func benchMessage() *dnswire.Message {

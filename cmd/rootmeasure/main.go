@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rootmeasure -out study.rgds [-seed 1] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+//	rootmeasure -out study.rgds [-seed 1] [-workers N] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 func main() {
 	out := flag.String("out", "study.rgds", "dataset output file")
 	seed := flag.Int64("seed", 1, "world seed (must match rootanalyze)")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = one per CPU; recorded datasets are identical at any count)")
 	scale := flag.Int("scale", 96, "schedule thinning factor")
 	vpScale := flag.Int("vpscale", 1, "VP population divisor (must match rootanalyze)")
 	tlds := flag.Int("tlds", 80, "synthesized root zone TLD count")
@@ -33,6 +34,7 @@ func main() {
 
 	mCfg := measure.DefaultConfig()
 	mCfg.Seed, mCfg.Scale, mCfg.TLDCount = *seed, *scale, *tlds
+	mCfg.Workers = *workers
 	if *start != "" {
 		t, err := time.Parse("2006-01-02", *start)
 		if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rootstudy [-quick] [-seed N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+//	rootstudy [-quick] [-seed N] [-workers N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the fast smoke-test configuration")
 	extensions := flag.Bool("extensions", false, "also run the Appendix-E extensions (control group, per-second SOA propagation)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = one per CPU, 1 = serial; output is identical either way)")
 	scale := flag.Int("scale", 0, "measurement-schedule thinning factor (0 = config default)")
 	vpScale := flag.Int("vpscale", 0, "vantage-point population divisor (0 = config default)")
 	start := flag.String("start", "", "campaign start date (YYYY-MM-DD, default paper start)")
@@ -33,6 +34,7 @@ func main() {
 		cfg = repro.QuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *scale > 0 {
 		cfg.Scale = *scale
 	}

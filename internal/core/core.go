@@ -33,6 +33,9 @@ type Config struct {
 	PassiveClients int
 	// Start and End override the paper's campaign window when non-zero.
 	Start, End time.Time
+	// Workers bounds the campaign worker pool (0 = one per CPU, 1 = serial).
+	// Reports are byte-identical across worker counts for the same seed.
+	Workers int
 }
 
 // DefaultConfig runs the full VP population on a heavily thinned schedule —
@@ -121,6 +124,7 @@ func (s *Study) Run() error {
 	mCfg.Scale = s.Cfg.Scale
 	mCfg.TLDCount = s.Cfg.TLDCount
 	mCfg.WireCheck = true
+	mCfg.Workers = s.Cfg.Workers
 	if !s.Cfg.Start.IsZero() {
 		mCfg.Start = s.Cfg.Start
 	}

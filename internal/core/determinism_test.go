@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReportByteIdenticalAcrossWorkers is the parallel engine's determinism
+// regression: a serial (Workers=1) and a heavily sharded (Workers=8) quick
+// study must render byte-identical reports. This covers every accumulator
+// (handler delivery order), floating-point summation order, and — because
+// Fig. 10 prints raw RRSIG bytes — deterministic key derivation and signing.
+func TestReportByteIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		cfg := QuickConfig()
+		cfg.Workers = workers
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		s.WriteReport(&sb)
+		return sb.String()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Fatal(firstDiff(serial, parallel))
+	}
+}
+
+// firstDiff renders the first differing line of two reports.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("reports differ at line %d:\nworkers=1: %q\nworkers=8: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("reports differ in length: %d vs %d lines", len(al), len(bl))
+}

@@ -66,6 +66,24 @@ func GenerateKey(flags uint16, rnd io.Reader) (*Key, error) {
 	return &Key{Flags: flags, Private: priv}, nil
 }
 
+// DeterministicKey derives a P-256 key pair from seed material. Unlike
+// GenerateKey with a seeded reader — which the standard library deliberately
+// de-randomizes via MaybeReadByte — the derivation is a pure function of
+// seed, so identically seeded simulations hold identical keys across runs.
+func DeterministicKey(flags uint16, seed []byte) *Key {
+	curve := elliptic.P256()
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	h := sha256.Sum256(seed)
+	d := new(big.Int).SetBytes(h[:])
+	d.Mod(d, nMinus1)
+	d.Add(d, big.NewInt(1)) // d in [1, n-1]
+	x, y := curve.ScalarBaseMult(d.FillBytes(make([]byte, 32)))
+	return &Key{Flags: flags, Private: &ecdsa.PrivateKey{
+		PublicKey: ecdsa.PublicKey{Curve: curve, X: x, Y: y},
+		D:         d,
+	}}
+}
+
 // DNSKEY returns the public DNSKEY record for k with the given owner and TTL.
 func (k *Key) DNSKEY(owner dnswire.Name, ttl uint32) dnswire.RR {
 	var pub []byte
@@ -176,15 +194,49 @@ func SignRRset(k *Key, rrset []dnswire.RR, signer dnswire.Name, inception, expir
 		sig.Signature = raw
 		return dnswire.RR{Name: owner, Class: rrset[0].Class, TTL: ttl, Data: sig}, nil
 	}
-	r, s, err := ecdsa.Sign(rand.Reader, k.Private, digest)
-	if err != nil {
-		return dnswire.RR{}, fmt.Errorf("dnssec: sign: %w", err)
-	}
+	r, s := signECDSADeterministic(k.Private, digest)
 	raw := make([]byte, 64)
 	r.FillBytes(raw[:32])
 	s.FillBytes(raw[32:])
 	sig.Signature = raw
 	return dnswire.RR{Name: owner, Class: rrset[0].Class, TTL: ttl, Data: sig}, nil
+}
+
+// signECDSADeterministic produces an RFC 6979-style deterministic ECDSA
+// signature: the nonce is derived from the private scalar and the message
+// digest rather than fresh randomness, so signing the same RRset with the
+// same key yields identical signature bytes. Byte-identical signatures are
+// what lets identically seeded campaign runs render byte-identical reports
+// (Fig. 10 prints raw RRSIG bytes) regardless of worker count or process.
+func signECDSADeterministic(priv *ecdsa.PrivateKey, digest []byte) (r, s *big.Int) {
+	curve := priv.Curve
+	n := curve.Params().N
+	z := new(big.Int).SetBytes(digest)
+	dBytes := priv.D.FillBytes(make([]byte, 32))
+	for ctr := 0; ; ctr++ {
+		h := sha256.New()
+		h.Write(dBytes)
+		h.Write(digest)
+		h.Write([]byte{byte(ctr)})
+		k := new(big.Int).SetBytes(h.Sum(nil))
+		k.Mod(k, n)
+		if k.Sign() == 0 {
+			continue
+		}
+		rx, _ := curve.ScalarBaseMult(k.FillBytes(make([]byte, 32)))
+		r = new(big.Int).Mod(rx, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		s = new(big.Int).Mul(r, priv.D)
+		s.Add(s, z)
+		s.Mul(s, new(big.Int).ModInverse(k, n))
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		return r, s
+	}
 }
 
 // signedData hashes the byte stream covered by sig over rrset.

@@ -48,6 +48,44 @@ func TestSignVerifyRRset(t *testing.T) {
 	}
 }
 
+// TestDeterministicSignerReproducible pins the property the campaign
+// engine's byte-identical reports rest on: the same seed yields the same
+// keys and the same RRSIG bytes, across signer instances.
+func TestDeterministicSignerReproducible(t *testing.T) {
+	a := NewDeterministicSigner(7)
+	b := NewDeterministicSigner(7)
+	if a.ZSK.Private.D.Cmp(b.ZSK.Private.D) != 0 || a.KSK.Private.D.Cmp(b.KSK.Private.D) != 0 {
+		t.Fatal("same seed produced different keys")
+	}
+	c := NewDeterministicSigner(8)
+	if a.ZSK.Private.D.Cmp(c.ZSK.Private.D) == 0 {
+		t.Fatal("different seeds produced the same ZSK")
+	}
+	if a.KSK.Private.D.Cmp(a.ZSK.Private.D) == 0 {
+		t.Fatal("KSK and ZSK collide")
+	}
+
+	rrset := testRRset()
+	exp := studyTime.Add(14 * 24 * time.Hour)
+	sigA, err := SignRRset(a.ZSK, rrset, dnswire.Root, studyTime, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigB, err := SignRRset(b.ZSK, rrset, dnswire.Root, studyTime, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA := sigA.Data.(dnswire.RRSIGRecord).Signature
+	rawB := sigB.Data.(dnswire.RRSIGRecord).Signature
+	if string(rawA) != string(rawB) {
+		t.Fatal("same key and RRset produced different signature bytes")
+	}
+	keys := []dnswire.DNSKEYRecord{a.ZSK.DNSKEY(dnswire.Root, 172800).Data.(dnswire.DNSKEYRecord)}
+	if err := VerifyRRset(sigA.Data.(dnswire.RRSIGRecord), rrset, keys, studyTime.Add(time.Hour)); err != nil {
+		t.Fatalf("deterministic signature does not verify: %v", err)
+	}
+}
+
 func TestVerifyRRsetOrderIndependent(t *testing.T) {
 	s := newTestSigner(t)
 	rrset := testRRset()

@@ -45,6 +45,19 @@ func NewSigner(rnd interface{ Read([]byte) (int, error) }) (*Signer, error) {
 	}, nil
 }
 
+// NewDeterministicSigner derives an ECDSA-P256 KSK+ZSK signer purely from
+// seed: the same seed always yields the same keys and (signing being
+// deterministic) the same signature bytes, which makes whole simulation
+// reports reproducible byte-for-byte across runs and worker counts.
+func NewDeterministicSigner(seed int64) *Signer {
+	return &Signer{
+		KSK:               DeterministicKey(257, []byte(fmt.Sprintf("repro-ksk:%d", seed))),
+		ZSK:               DeterministicKey(256, []byte(fmt.Sprintf("repro-zsk:%d", seed))),
+		SignatureValidity: 14 * 24 * time.Hour,
+		InceptionSkew:     4 * time.Hour,
+	}
+}
+
 // NewRSASigner generates an RSA/SHA-256 KSK+ZSK signer — algorithm 8, the
 // one the real root zone signs with.
 func NewRSASigner(rnd interface{ Read([]byte) (int, error) }) (*Signer, error) {

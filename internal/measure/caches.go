@@ -1,0 +1,118 @@
+package measure
+
+import (
+	"sync"
+
+	"repro/internal/zone"
+)
+
+// zoneCache is a thread-safe, single-flight cache of signed zones keyed by
+// (serial, rollout state, staleness). Single-flight matters under the
+// parallel campaign engine: signing a zone is the most expensive step on the
+// transfer path, and two workers hitting the same serial at once must not
+// both pay for it (or race on the map).
+type zoneCache struct {
+	mu      sync.Mutex
+	entries map[zoneKey]*zoneEntry
+}
+
+type zoneEntry struct {
+	once sync.Once
+	z    *zone.Zone
+	err  error
+}
+
+func newZoneCache() *zoneCache {
+	return &zoneCache{entries: make(map[zoneKey]*zoneEntry)}
+}
+
+// get returns the cached zone for key, building it via build exactly once no
+// matter how many goroutines ask concurrently.
+func (zc *zoneCache) get(key zoneKey, build func() (*zone.Zone, error)) (*zone.Zone, error) {
+	zc.mu.Lock()
+	e := zc.entries[key]
+	if e == nil {
+		e = &zoneEntry{}
+		zc.entries[key] = e
+	}
+	zc.mu.Unlock()
+	e.once.Do(func() { e.z, e.err = build() })
+	return e.z, e.err
+}
+
+// valCache is the single-flight analogue for validation results: running the
+// full ldns-style validation is expensive, and the result is a pure function
+// of the key.
+type valCache struct {
+	mu      sync.Mutex
+	entries map[valKey]*valEntry
+}
+
+type valEntry struct {
+	once sync.Once
+	res  valResult
+}
+
+func newValCache() *valCache {
+	return &valCache{entries: make(map[valKey]*valEntry)}
+}
+
+func (vc *valCache) get(key valKey, build func() valResult) valResult {
+	vc.mu.Lock()
+	e := vc.entries[key]
+	if e == nil {
+		e = &valEntry{}
+		vc.entries[key] = e
+	}
+	vc.mu.Unlock()
+	e.once.Do(func() { e.res = build() })
+	return e.res
+}
+
+// batteryCache bounds the wire-check battery cache by evicting the
+// oldest-serial entries once it grows past max — batteries are only useful
+// around the current serial, and serials are monotone over the campaign, so
+// oldest-serial is oldest-use. (The seed's version cleared the whole map
+// instead, throwing away the current serial's neighbors too.)
+type batteryCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[zoneKey]*Battery
+}
+
+func newBatteryCache(max int) *batteryCache {
+	return &batteryCache{max: max, entries: make(map[zoneKey]*Battery)}
+}
+
+func (bc *batteryCache) get(key zoneKey) (*Battery, bool) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	b, ok := bc.entries[key]
+	return b, ok
+}
+
+func (bc *batteryCache) put(key zoneKey, b *Battery) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	bc.entries[key] = b
+	for len(bc.entries) > bc.max {
+		oldest := key
+		first := true
+		for k := range bc.entries {
+			if first || zone.SerialCompare(k.serial, oldest.serial) < 0 {
+				oldest, first = k, false
+			}
+		}
+		if oldest == key {
+			return // never evict the entry just inserted
+		}
+		delete(bc.entries, oldest)
+	}
+}
+
+// len reports the current cache size (for tests).
+func (bc *batteryCache) len() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return len(bc.entries)
+}

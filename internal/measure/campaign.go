@@ -1,7 +1,6 @@
 package measure
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -192,6 +191,11 @@ type Config struct {
 	// codec, server logic, and zone contents end-to-end during the
 	// campaign. Failures are reported via Campaign.WireFailures.
 	WireCheck bool
+	// Workers bounds the campaign's worker pool: each tick's VP loop is
+	// sharded across this many goroutines. 0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 runs fully serial. The same seed produces
+	// byte-identical reports at any worker count.
+	Workers int
 }
 
 // DefaultConfig is a harness-scale campaign: the full VP population and
@@ -229,10 +233,12 @@ func NewWorld(cfg Config, topoCfg topology.Config, vpCfg vantage.Config) (*World
 	if len(pop.VPs) == 0 {
 		return nil, errors.New("measure: empty VP population")
 	}
-	signer, err := dnssec.NewSigner(rand.Reader)
-	if err != nil {
-		return nil, err
-	}
+	// The signer is derived from the seed so that identically configured
+	// worlds hold identical keys — together with deterministic RRSIG
+	// generation this makes reports byte-identical across runs and worker
+	// counts (Config.Seed drives *all* stochastic choices, key material
+	// included).
+	signer := dnssec.NewDeterministicSigner(cfg.Seed)
 	zcfg := zone.DefaultRootConfig()
 	zcfg.TLDCount = cfg.TLDCount
 	zcfg.Seed = cfg.Seed
@@ -259,12 +265,14 @@ type Campaign struct {
 	Plan  FaultPlan
 
 	traceCfg traceroute.Config
-	// signedZones caches fully signed+digested zones by (serial, state).
-	signedZones map[zoneKey]*zone.Zone
-	// validationCache caches fault classifications.
-	validationCache map[valKey]valResult
-	// batteries caches wire-check batteries per zone version.
-	batteries map[zoneKey]*Battery
+	// signedZones caches fully signed+digested zones by (serial, state);
+	// single-flight, so concurrent workers never sign the same zone twice.
+	signedZones *zoneCache
+	// validations caches fault classifications, also single-flight.
+	validations *valCache
+	// batteries caches wire-check batteries per zone version, evicting
+	// oldest-serial entries beyond its bound.
+	batteries *batteryCache
 
 	// WireQueries and WireFailures accumulate the wire-check results when
 	// Config.WireCheck is enabled.
@@ -305,52 +313,27 @@ func NewCampaign(cfg Config, w *World) *Campaign {
 		cfg.TraceEvery = 1
 	}
 	return &Campaign{
-		Cfg:             cfg,
-		World:           w,
-		Plan:            DefaultFaultPlan(w.System.Deployments["d"]),
-		traceCfg:        traceroute.DefaultConfig(),
-		signedZones:     make(map[zoneKey]*zone.Zone),
-		validationCache: make(map[valKey]valResult),
-		batteries:       make(map[zoneKey]*Battery),
+		Cfg:         cfg,
+		World:       w,
+		Plan:        DefaultFaultPlan(w.System.Deployments["d"]),
+		traceCfg:    traceroute.DefaultConfig(),
+		signedZones: newZoneCache(),
+		validations: newValCache(),
+		batteries:   newBatteryCache(8),
 	}
 }
 
-// Run walks the schedule, emitting events to the handlers.
-func (c *Campaign) Run(handlers ...Handler) error {
-	ticks := Ticks(c.Cfg.Start, c.Cfg.End, c.Cfg.Scale)
-	targets := rss.AllServiceAddrs()
-	for _, tick := range ticks {
-		if c.Cfg.WireCheck {
-			if err := c.runWireCheck(tick); err != nil {
-				return err
-			}
-		}
-		for vpIdx := range c.World.Population.VPs {
-			vp := &c.World.Population.VPs[vpIdx]
-			for tIdx, target := range targets {
-				pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
-				for _, h := range handlers {
-					h.HandleProbe(pe)
-				}
-				if !tick.Time.Before(AXFRStart) {
-					te := c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
-					for _, h := range handlers {
-						h.HandleTransfer(te)
-					}
-				}
-			}
-		}
-	}
-	return nil
-}
+// Run is implemented in pool.go: the tick×VP×target walk is sharded across
+// a worker pool with a deterministic ordered drain into the handlers.
 
 // runWireCheck executes the Appendix-F battery against the current zone
-// version through an in-process server and accumulates any failures.
+// version through an in-process server and accumulates any failures. It runs
+// serially on the campaign goroutine, once per tick, before the VP fan-out.
 func (c *Campaign) runWireCheck(tick Tick) error {
 	serial := SerialAt(tick.Time)
 	state := zonemd.StateAt(tick.Time)
 	key := zoneKey{serial, state, false}
-	battery, ok := c.batteries[key]
+	battery, ok := c.batteries.get(key)
 	if !ok {
 		z, err := c.signedZone(serial, state, SerialPublishedAt(tick.Time), false)
 		if err != nil {
@@ -362,12 +345,7 @@ func (c *Campaign) runWireCheck(tick Tick) error {
 		if err != nil {
 			return err
 		}
-		// Keep the cache bounded: batteries are only useful for the
-		// current serial.
-		if len(c.batteries) > 8 {
-			c.batteries = make(map[zoneKey]*Battery)
-		}
-		c.batteries[key] = battery
+		c.batteries.put(key, battery)
 	}
 	res := battery.Run(rss.ServiceAddr{Letter: "a", Family: topology.IPv4}, "wirecheck.local")
 	c.WireQueries += res.Queries
@@ -425,14 +403,25 @@ func geoRTT(route topology.Route) float64 {
 	return geo.RTTms(route.PathKm, route.Hops()*2+2, 0.25)
 }
 
-// rttJitter adds deterministic per-probe noise.
+// rttJitter adds deterministic per-probe noise, uniform in [0, 2) ms. The
+// probe key is mixed through splitmix64 finalizers instead of seeding a
+// throwaway math/rand generator, keeping the hottest per-probe call
+// allocation-free.
 func rttJitter(seed int64, vpIdx, tIdx, tick int) float64 {
-	h := seed
-	for _, v := range []int{vpIdx, tIdx, tick} {
-		h = h*1099511628211 + int64(v) + 13
-	}
-	rng := mrand.New(mrand.NewSource(h))
-	return rng.Float64() * 2.0
+	h := uint64(seed)
+	h = splitmix64(h ^ uint64(vpIdx))
+	h = splitmix64(h ^ uint64(tIdx)<<24)
+	h = splitmix64(h ^ uint64(tick)<<48)
+	// 53 high bits → uniform float64 in [0, 1), scaled to [0, 2).
+	return float64(h>>11) / (1 << 53) * 2.0
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // transfer performs the AXFR step and classifies its validation outcome.
@@ -510,36 +499,40 @@ func (c *Campaign) classifyFault(tick Tick, vpIdx int, target rss.ServiceAddr, r
 
 // signedZone returns (building and caching as needed) the fully signed and
 // ZONEMD-attached zone for a serial. Stale copies are signed with an old
-// inception so their signatures are genuinely expired.
+// inception so their signatures are genuinely expired. Safe for concurrent
+// use: the cache is single-flight, so each zone version is signed exactly
+// once per campaign no matter how many workers ask.
 func (c *Campaign) signedZone(serial uint32, state zonemd.RolloutState, signTime time.Time, stale bool) (*zone.Zone, error) {
-	key := zoneKey{serial, state, stale}
-	if z, ok := c.signedZones[key]; ok {
-		return z, nil
-	}
-	baseZone := c.World.BaseZone
-	if zone.SerialCompare(serial, 2023112700) < 0 {
-		baseZone = c.World.BaseZonePre
-	}
-	base := baseZone.BumpSerial(serial)
-	signed, err := c.World.Signer.Sign(base, signTime)
-	if err != nil {
-		return nil, err
-	}
-	z, err := zonemd.AttachAndSign(signed, c.World.Signer, state, signTime)
-	if err != nil {
-		return nil, err
-	}
-	c.signedZones[key] = z
-	return z, nil
+	return c.signedZones.get(zoneKey{serial, state, stale}, func() (*zone.Zone, error) {
+		baseZone := c.World.BaseZone
+		if zone.SerialCompare(serial, 2023112700) < 0 {
+			baseZone = c.World.BaseZonePre
+		}
+		base := baseZone.BumpSerial(serial)
+		signed, err := c.World.Signer.Sign(base, signTime)
+		if err != nil {
+			return nil, err
+		}
+		return zonemd.AttachAndSign(signed, c.World.Signer, state, signTime)
+	})
 }
 
 // validate builds the (possibly faulty) zone a transfer would deliver and
-// runs the full ldns-style validation, caching by fault class.
+// runs the full ldns-style validation, caching by fault class. Bitflip
+// faults (flipOut != nil) bypass the cache: each needs the flip rendered,
+// and the flip is deterministic in (seed, serial), so recomputing stays
+// reproducible. Safe for concurrent use.
 func (c *Campaign) validate(serial uint32, state zonemd.RolloutState, fault faults.Kind, now, vpNow time.Time, stale *StaleWindow, flipOut *faults.Bitflip) valResult {
-	key := valKey{serial, state, fault, !vpNow.Equal(now)}
-	if res, ok := c.validationCache[key]; ok && flipOut == nil {
-		return res
+	if flipOut != nil {
+		return c.validateUncached(serial, state, fault, now, vpNow, stale, flipOut)
 	}
+	key := valKey{serial, state, fault, !vpNow.Equal(now)}
+	return c.validations.get(key, func() valResult {
+		return c.validateUncached(serial, state, fault, now, vpNow, stale, nil)
+	})
+}
+
+func (c *Campaign) validateUncached(serial uint32, state zonemd.RolloutState, fault faults.Kind, now, vpNow time.Time, stale *StaleWindow, flipOut *faults.Bitflip) valResult {
 	signTime := SerialPublishedAt(now)
 	zstale := false
 	if fault == faults.StaleZone && stale != nil {
@@ -568,9 +561,5 @@ func (c *Campaign) validate(serial uint32, state zonemd.RolloutState, fault faul
 		}
 	}
 	zErr, dErr := zonemd.FullValidation(z, c.World.Anchor, vpNow)
-	res := valResult{zonemdErr: zErr, dnssecErr: dErr}
-	if flipOut == nil || fault == faults.ClockSkew || fault == faults.StaleZone {
-		c.validationCache[key] = res
-	}
-	return res
+	return valResult{zonemdErr: zErr, dnssecErr: dErr}
 }

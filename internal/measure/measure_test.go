@@ -2,6 +2,7 @@ package measure
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -305,6 +306,125 @@ func TestTransferEventTargetsIncludeOldB(t *testing.T) {
 	}
 	if !sawOld {
 		t.Error("old b.root address not probed")
+	}
+}
+
+// runShortCampaignWorkers runs a short campaign with an explicit worker
+// count over a fault-rich window (covering a bitflip plan entry) so the
+// parallel path exercises the zone, validation, and battery caches.
+func runShortCampaignWorkers(t *testing.T, w *World, workers int) *collector {
+	t.Helper()
+	cfg := DefaultConfig()
+	// 2023-09-26 covers a planned bitflip and the ZONEMD placeholder state.
+	cfg.Start = time.Date(2023, 9, 26, 9, 0, 0, 0, time.UTC)
+	cfg.End = cfg.Start.Add(3 * time.Hour)
+	cfg.Scale = 1
+	cfg.TLDCount = 15
+	cfg.Workers = workers
+	cfg.WireCheck = true
+	c := NewCampaign(cfg, w)
+	col := &collector{}
+	if err := c.Run(col); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestCampaignParallelMatchesSerial asserts the ordered drain: every event,
+// in order, must be identical between a serial and a heavily parallel run.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	w := testWorld(t)
+	serial := runShortCampaignWorkers(t, w, 1)
+	parallel := runShortCampaignWorkers(t, w, 8)
+	if len(serial.probes) != len(parallel.probes) {
+		t.Fatalf("probe counts differ: %d vs %d", len(serial.probes), len(parallel.probes))
+	}
+	if len(serial.transfers) != len(parallel.transfers) {
+		t.Fatalf("transfer counts differ: %d vs %d", len(serial.transfers), len(parallel.transfers))
+	}
+	for i := range serial.probes {
+		a, b := serial.probes[i], parallel.probes[i]
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("probe %d differs:\nserial:   %+v\nparallel: %+v", i, a, b)
+		}
+	}
+	for i := range serial.transfers {
+		a, b := serial.transfers[i], parallel.transfers[i]
+		// Errors are distinct values; compare their rendering (which is what
+		// reaches reports) and the rest of the event structurally.
+		if errString(a.ZonemdErr) != errString(b.ZonemdErr) || errString(a.DNSSECErr) != errString(b.DNSSECErr) {
+			t.Fatalf("transfer %d validation differs: %v/%v vs %v/%v",
+				i, a.ZonemdErr, a.DNSSECErr, b.ZonemdErr, b.DNSSECErr)
+		}
+		a.ZonemdErr, a.DNSSECErr, b.ZonemdErr, b.DNSSECErr = nil, nil, nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("transfer %d differs:\nserial:   %+v\nparallel: %+v", i, a, b)
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestCampaignManyWorkersRace is the race-detector workload: a small
+// campaign with far more workers than VPs per shard, crossing a fault
+// window so workers contend on the single-flight caches. Run it under
+// `go test -race` (make race).
+func TestCampaignManyWorkersRace(t *testing.T) {
+	w := testWorld(t)
+	col := runShortCampaignWorkers(t, w, 16)
+	if len(col.probes) == 0 || len(col.transfers) == 0 {
+		t.Fatal("parallel campaign produced no events")
+	}
+}
+
+// TestBatteryCacheEvictsOldestSerial pins the bounded battery cache's
+// eviction order: oldest serial out first, never the just-inserted entry.
+func TestBatteryCacheEvictsOldestSerial(t *testing.T) {
+	bc := newBatteryCache(3)
+	key := func(serial uint32) zoneKey { return zoneKey{serial: serial} }
+	for _, s := range []uint32{2023070100, 2023070101, 2023070200, 2023070201} {
+		bc.put(key(s), &Battery{})
+	}
+	if bc.len() != 3 {
+		t.Fatalf("cache size = %d, want 3", bc.len())
+	}
+	if _, ok := bc.get(key(2023070100)); ok {
+		t.Error("oldest serial not evicted")
+	}
+	for _, s := range []uint32{2023070101, 2023070200, 2023070201} {
+		if _, ok := bc.get(key(s)); !ok {
+			t.Errorf("serial %d wrongly evicted", s)
+		}
+	}
+	// Inserting an entry older than everything cached must keep the entry.
+	bc.put(key(2023010100), &Battery{})
+	if _, ok := bc.get(key(2023010100)); !ok {
+		t.Error("just-inserted entry was evicted")
+	}
+}
+
+// TestRTTJitterDistribution checks the splitmix-based jitter stays uniform
+// in [0, 2) and deterministic.
+func TestRTTJitterDistribution(t *testing.T) {
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		j := rttJitter(1, i%700, i%28, i/700)
+		if j < 0 || j >= 2 {
+			t.Fatalf("jitter %f out of [0,2)", j)
+		}
+		sum += j
+	}
+	if mean := sum / float64(n); mean < 0.95 || mean > 1.05 {
+		t.Errorf("jitter mean = %f, want ~1.0", mean)
+	}
+	if rttJitter(1, 2, 3, 4) != rttJitter(1, 2, 3, 4) {
+		t.Error("jitter not deterministic")
 	}
 }
 

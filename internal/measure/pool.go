@@ -1,0 +1,114 @@
+package measure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rss"
+)
+
+// The parallel campaign engine shards each tick's VP loop across a bounded
+// worker pool. Workers only *compute* events — every probe and transfer is
+// a pure function of (seed, tick, vp, target) plus the single-flight zone
+// and validation caches — while handler delivery happens on the calling
+// goroutine in exactly the serial engine's order (tick, then VP index, then
+// target index, probe before transfer). Analyses therefore never see
+// concurrency, need no merge step, and the same seed produces byte-identical
+// reports at any worker count.
+
+// eventPair carries one target's probe (and, after AXFRStart, transfer)
+// from a worker to the ordered drain.
+type eventPair struct {
+	probe       ProbeEvent
+	transfer    TransferEvent
+	hasTransfer bool
+}
+
+// vpShard buffers one VP's events for the current tick. Shards are owned by
+// exactly one worker while a tick is in flight and re-used across ticks.
+type vpShard struct {
+	pairs []eventPair
+}
+
+// workerCount resolves Config.Workers: 0 (or negative) means one worker per
+// available CPU.
+func (c *Campaign) workerCount() int {
+	if c.Cfg.Workers > 0 {
+		return c.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run walks the schedule, emitting events to the handlers. The tick×VP×target
+// loop is sharded across Config.Workers goroutines; handlers receive events
+// in deterministic serial order regardless of the worker count.
+func (c *Campaign) Run(handlers ...Handler) error {
+	ticks := Ticks(c.Cfg.Start, c.Cfg.End, c.Cfg.Scale)
+	targets := rss.AllServiceAddrs()
+	nVPs := len(c.World.Population.VPs)
+	workers := c.workerCount()
+	if workers > nVPs {
+		workers = nVPs
+	}
+	shards := make([]vpShard, nVPs)
+	for _, tick := range ticks {
+		if c.Cfg.WireCheck {
+			if err := c.runWireCheck(tick); err != nil {
+				return err
+			}
+		}
+		if workers <= 1 {
+			for i := 0; i < nVPs; i++ {
+				c.collectVP(tick, i, targets, &shards[i])
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= nVPs {
+							return
+						}
+						c.collectVP(tick, i, targets, &shards[i])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		for i := range shards {
+			for _, p := range shards[i].pairs {
+				for _, h := range handlers {
+					h.HandleProbe(p.probe)
+				}
+				if p.hasTransfer {
+					for _, h := range handlers {
+						h.HandleTransfer(p.transfer)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectVP computes one VP's full probe+transfer battery for the tick into
+// out, preserving the serial engine's per-target event order.
+func (c *Campaign) collectVP(tick Tick, vpIdx int, targets []rss.ServiceAddr, out *vpShard) {
+	out.pairs = out.pairs[:0]
+	vp := &c.World.Population.VPs[vpIdx]
+	axfr := !tick.Time.Before(AXFRStart)
+	for tIdx, target := range targets {
+		pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
+		pair := eventPair{probe: pe}
+		if axfr {
+			pair.transfer = c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
+			pair.hasTransfer = true
+		}
+		out.pairs = append(out.pairs, pair)
+	}
+}

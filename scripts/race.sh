@@ -1,0 +1,7 @@
+#!/bin/sh
+# CI race step: exercise the parallel campaign engine (worker pool,
+# single-flight zone/validation caches, ordered drain) and the analysis
+# accumulators it feeds under the Go race detector.
+set -eu
+cd "$(dirname "$0")/.."
+exec go test -race ./internal/measure/... ./internal/analysis/...
