@@ -19,8 +19,9 @@ race:
 
 # Regenerate the reproduction report via the benchmark harness.
 # BENCH_SCALE overrides schedule thinning (smaller = higher fidelity, slower).
+# -benchmem keeps allocs/op visible so fast-path regressions are caught.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	$(GO) test -bench . -benchmem -benchtime 1x .
 
 report:
 	$(GO) run ./cmd/rootstudy -quick

@@ -302,6 +302,26 @@ func BenchmarkWirePack(b *testing.B) {
 	}
 }
 
+// BenchmarkWireAppendPack is the steady-state encode: the caller reuses its
+// output buffer, so with the pooled compression map the pack is expected to
+// show 0 allocs/op (pinned by TestAppendPackSteadyStateZeroAllocs).
+func BenchmarkWireAppendPack(b *testing.B) {
+	m := benchMessage()
+	buf, err := m.AppendPack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := m.AppendPack(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
 func BenchmarkWireUnpack(b *testing.B) {
 	wire, err := benchMessage().Pack()
 	if err != nil {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	rootmeasure -out study.rgds [-seed 1] [-workers N] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+//	            [-cpuprofile prof.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/measure"
+	"repro/internal/prof"
 	"repro/internal/topology"
 	"repro/internal/vantage"
 )
@@ -31,6 +33,12 @@ func main() {
 	start := flag.String("start", "", "campaign start (YYYY-MM-DD)")
 	end := flag.String("end", "", "campaign end (YYYY-MM-DD)")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	mCfg := measure.DefaultConfig()
 	mCfg.Seed, mCfg.Scale, mCfg.TLDCount = *seed, *scale, *tlds

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rootstudy [-quick] [-seed N] [-workers N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+//	          [-cpuprofile prof.out] [-memprofile mem.out]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/control"
+	"repro/internal/prof"
 	"repro/internal/propagation"
 	"repro/internal/topology"
 )
@@ -28,6 +30,13 @@ func main() {
 	start := flag.String("start", "", "campaign start date (YYYY-MM-DD, default paper start)")
 	end := flag.String("end", "", "campaign end date (YYYY-MM-DD, default paper end)")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootstudy: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	cfg := repro.DefaultConfig()
 	if *quick {

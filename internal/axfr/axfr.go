@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/dnswire"
 	"repro/internal/zone"
@@ -27,31 +28,49 @@ var (
 // multi-message reassembly even for small test zones.
 const MaxMessageBytes = 16 * 1024
 
+// framePool recycles frame buffers across transfers: a message is packed
+// directly behind its 2-octet length prefix and written in one call, so the
+// steady-state serving path allocates nothing per message.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, MaxMessageBytes+1024)
+	return &b
+}}
+
 // WriteMessage writes one DNS message with the TCP length prefix.
 func WriteMessage(w io.Writer, m *dnswire.Message) error {
-	wire, err := m.Pack()
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	buf, err := m.AppendPack(append((*bp)[:0], 0, 0))
 	if err != nil {
 		return err
 	}
-	if len(wire) > 0xFFFF {
-		return fmt.Errorf("axfr: message of %d bytes exceeds TCP frame limit", len(wire))
+	*bp = buf[:0]
+	wireLen := len(buf) - 2
+	if wireLen > 0xFFFF {
+		return fmt.Errorf("axfr: message of %d bytes exceeds TCP frame limit", wireLen)
 	}
-	var prefix [2]byte
-	binary.BigEndian.PutUint16(prefix[:], uint16(len(wire)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(wire)
+	binary.BigEndian.PutUint16(buf, uint16(wireLen))
+	_, err = w.Write(buf)
 	return err
 }
 
-// ReadMessage reads one length-prefixed DNS message.
+// ReadMessage reads one length-prefixed DNS message. The read buffer is
+// pooled: Unpack copies every byte it retains, so the frame can be reused
+// for the next message.
 func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 	var prefix [2]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err
 	}
-	wire := make([]byte, binary.BigEndian.Uint16(prefix[:]))
+	n := int(binary.BigEndian.Uint16(prefix[:]))
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	wire := *bp
+	if cap(wire) < n {
+		wire = make([]byte, 0, n)
+		*bp = wire
+	}
+	wire = wire[:n]
 	if _, err := io.ReadFull(r, wire); err != nil {
 		return nil, err
 	}
@@ -62,20 +81,27 @@ func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 // the zone's records with the SOA first and repeated last, chunked so each
 // message stays under MaxMessageBytes.
 func ResponseMessages(z *zone.Zone, id uint16, question dnswire.Question) ([]*dnswire.Message, error) {
-	soa, ok := z.SOA()
-	if !ok {
+	apex := z.Apex.Canonical()
+	soaIdx := -1
+	for i, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == apex {
+			soaIdx = i
+			break
+		}
+	}
+	if soaIdx < 0 {
 		return nil, errors.New("axfr: zone has no SOA")
 	}
 	// Stream order: SOA, all non-SOA records, SOA again.
-	records := make([]dnswire.RR, 0, len(z.Records)+1)
-	records = append(records, soa)
-	for _, rr := range z.Records {
-		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == z.Apex.Canonical() {
+	stream := make([]int, 0, len(z.Records)+1)
+	stream = append(stream, soaIdx)
+	for i, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == apex {
 			continue
 		}
-		records = append(records, rr)
+		stream = append(stream, i)
 	}
-	records = append(records, soa)
+	stream = append(stream, soaIdx)
 
 	newMsg := func(withQuestion bool) *dnswire.Message {
 		m := &dnswire.Message{Header: dnswire.Header{
@@ -90,14 +116,14 @@ func ResponseMessages(z *zone.Zone, id uint16, question dnswire.Question) ([]*dn
 	var msgs []*dnswire.Message
 	cur := newMsg(true)
 	curBytes := 0
-	for _, rr := range records {
-		rrBytes := estimateRRSize(rr)
+	for _, i := range stream {
+		rrBytes := estimateRRSize(z, i)
 		if curBytes > 0 && curBytes+rrBytes > MaxMessageBytes {
 			msgs = append(msgs, cur)
 			cur = newMsg(false)
 			curBytes = 0
 		}
-		cur.Answers = append(cur.Answers, rr)
+		cur.Answers = append(cur.Answers, z.Records[i])
 		curBytes += rrBytes
 	}
 	if len(cur.Answers) > 0 {
@@ -106,9 +132,12 @@ func ResponseMessages(z *zone.Zone, id uint16, question dnswire.Question) ([]*dn
 	return msgs, nil
 }
 
-// estimateRRSize upper-bounds the packed size of rr without compression.
-func estimateRRSize(rr dnswire.RR) int {
-	return len(dnswire.AppendCanonicalRR(nil, rr, rr.TTL)) + 16
+// estimateRRSize upper-bounds the packed size of z.Records[i] without
+// compression. It reads the sidecar's cached canonical wire form, whose
+// length equals what a fresh canonical encode would produce — chunk
+// boundaries (and so the transfer's framing bytes) are unchanged.
+func estimateRRSize(z *zone.Zone, i int) int {
+	return len(z.CanonicalWire(i)) + 16
 }
 
 // Serve writes a full AXFR response for z to w, answering the given query

@@ -274,6 +274,19 @@ func appendRRSIGPreamble(buf []byte, sig dnswire.RRSIGRecord) []byte {
 // VerifyRRset checks sig over rrset against the DNSKEYs in keys at time now.
 // It returns nil on success, or one of the taxonomy errors.
 func VerifyRRset(sig dnswire.RRSIGRecord, rrset []dnswire.RR, keys []dnswire.DNSKEYRecord, now time.Time) error {
+	if err := checkTemporal(sig, now); err != nil {
+		return err
+	}
+	key := findKey(keys, sig)
+	if key == nil {
+		return fmt.Errorf("%w: tag %d", ErrUnknownKey, sig.KeyTag)
+	}
+	return verifyCrypto(sig, key, signedData(sig, rrset))
+}
+
+// checkTemporal enforces the signature validity window at time now. These
+// checks depend on the validation time and are therefore never cached.
+func checkTemporal(sig dnswire.RRSIGRecord, now time.Time) error {
 	ts := uint32(now.Unix())
 	// RFC 1982-style comparisons are overkill for the study window; direct
 	// comparison is correct through 2106.
@@ -287,17 +300,23 @@ func VerifyRRset(sig dnswire.RRSIGRecord, rrset []dnswire.RR, keys []dnswire.DNS
 			time.Unix(int64(sig.Inception), 0).UTC().Format(time.RFC3339),
 			now.UTC().Format(time.RFC3339))
 	}
-	var key *dnswire.DNSKEYRecord
+	return nil
+}
+
+// findKey locates the DNSKEY matching sig's key tag and algorithm.
+func findKey(keys []dnswire.DNSKEYRecord, sig dnswire.RRSIGRecord) *dnswire.DNSKEYRecord {
 	for i := range keys {
 		if KeyTag(keys[i]) == sig.KeyTag && keys[i].Algorithm == sig.Algorithm {
-			key = &keys[i]
-			break
+			return &keys[i]
 		}
 	}
-	if key == nil {
-		return fmt.Errorf("%w: tag %d", ErrUnknownKey, sig.KeyTag)
-	}
-	digest := signedData(sig, rrset)
+	return nil
+}
+
+// verifyCrypto checks sig's raw signature bytes over digest with key. The
+// outcome is a pure function of (key, digest, signature), which is what makes
+// positive verdicts cacheable on the zone sidecar.
+func verifyCrypto(sig dnswire.RRSIGRecord, key *dnswire.DNSKEYRecord, digest []byte) error {
 	switch sig.Algorithm {
 	case dnswire.AlgRSASHA256:
 		return verifyRSA(key.PublicKey, digest, sig.Signature)

@@ -120,7 +120,7 @@ func (s *Signer) Sign(z *zone.Zone, now time.Time) (*zone.Zone, error) {
 		// signed. In the root zone only the apex and TLD delegation points
 		// exist; NS sets at non-apex names are delegations and also unsigned,
 		// but their NSEC and DS records would be — we sign NSEC here.
-		if isGlueOrDelegation(z.Apex, set) {
+		if isGlueOrDelegation(z.Apex, set[0].Name, set[0].Type()) {
 			continue
 		}
 		key := s.ZSK
@@ -161,15 +161,14 @@ func groupRRsets(records []dnswire.RR) [][]dnswire.RR {
 	return out
 }
 
-// isGlueOrDelegation reports whether the RRset is non-authoritative data:
-// NS sets below the apex (delegations) or address records at names below a
-// delegation point (glue).
-func isGlueOrDelegation(apex dnswire.Name, set []dnswire.RR) bool {
-	owner := set[0].Name
+// isGlueOrDelegation reports whether an RRset (owner, typ) is
+// non-authoritative data: NS sets below the apex (delegations) or address
+// records at names below a delegation point (glue).
+func isGlueOrDelegation(apex, owner dnswire.Name, typ dnswire.Type) bool {
 	if owner.Canonical() == apex.Canonical() {
 		return false
 	}
-	switch set[0].Type() {
+	switch typ {
 	case dnswire.TypeNS:
 		return true
 	case dnswire.TypeA, dnswire.TypeAAAA:
@@ -184,7 +183,7 @@ func (s *Signer) nsecChain(z *zone.Zone, ttl uint32) []dnswire.RR {
 	typesAt := make(map[dnswire.Name]map[dnswire.Type]bool)
 	for _, rr := range z.Records {
 		n := rr.Name.Canonical()
-		if isGlueOrDelegation(z.Apex, []dnswire.RR{rr}) && rr.Type() != dnswire.TypeNS {
+		if isGlueOrDelegation(z.Apex, rr.Name, rr.Type()) && rr.Type() != dnswire.TypeNS {
 			continue
 		}
 		if typesAt[n] == nil {
@@ -240,27 +239,34 @@ func ValidateZone(z *zone.Zone, anchor dnswire.DSRecord, now time.Time) error {
 		return fmt.Errorf("%w: DNSKEY RRset does not match trust anchor", ErrBogusSignature)
 	}
 
-	sigsFor := make(map[rrsetKey][]dnswire.RRSIGRecord)
-	for _, rr := range z.Records {
+	// Record indices (not copies) key the signature list so cached crypto
+	// verdicts can be attached to the zone's sidecar per RRSIG.
+	sigsFor := make(map[rrsetKey][]int)
+	for i, rr := range z.Records {
 		if sig, ok := rr.Data.(dnswire.RRSIGRecord); ok {
 			k := rrsetKey{rr.Name.Canonical(), sig.TypeCovered}
-			sigsFor[k] = append(sigsFor[k], sig)
+			sigsFor[k] = append(sigsFor[k], i)
 		}
 	}
-	for _, set := range groupRRsets(z.Records) {
-		t := set[0].Type()
-		if t == dnswire.TypeRRSIG || isGlueOrDelegation(z.Apex, set) {
+	// The sidecar's RRset groups arrive in the same canonical (name, type)
+	// order groupRRsets produced (the zones here are single-class), so the
+	// first validation error reported is unchanged.
+	for _, set := range z.RRsetIndices() {
+		first := z.Records[set[0]]
+		t := first.Type()
+		if t == dnswire.TypeRRSIG || isGlueOrDelegation(z.Apex, first.Name, t) {
 			continue
 		}
-		k := rrsetKey{set[0].Name.Canonical(), t}
-		sigs := sigsFor[k]
-		if len(sigs) == 0 {
+		k := rrsetKey{first.Name.Canonical(), t}
+		sigIdxs := sigsFor[k]
+		if len(sigIdxs) == 0 {
 			return fmt.Errorf("%w: %s/%s", ErrNoSignature, k.name, k.typ)
 		}
 		var lastErr error
 		ok := false
-		for _, sig := range sigs {
-			if err := VerifyRRset(sig, set, keys, now); err != nil {
+		for _, si := range sigIdxs {
+			sig := z.Records[si].Data.(dnswire.RRSIGRecord)
+			if err := verifyRRsetCached(z, si, sig, set, keys, now); err != nil {
 				lastErr = fmt.Errorf("%s/%s: %w", k.name, k.typ, err)
 			} else {
 				ok = true
@@ -272,6 +278,54 @@ func ValidateZone(z *zone.Zone, anchor dnswire.DSRecord, now time.Time) error {
 		}
 	}
 	return nil
+}
+
+// verifyRRsetCached is VerifyRRset against a zone-resident RRset (set holds
+// record indices, canonically ordered): temporal checks and key lookup run
+// every time, but a signature whose crypto already verified against this
+// zone's keys is accepted without redoing the ~50µs ECDSA verification —
+// the dominant cost of warm-zone validation. Negative outcomes are never
+// cached, so bogus signatures reproduce their exact error detail.
+func verifyRRsetCached(z *zone.Zone, sigIdx int, sig dnswire.RRSIGRecord, set []int, keys []dnswire.DNSKEYRecord, now time.Time) error {
+	if err := checkTemporal(sig, now); err != nil {
+		return err
+	}
+	key := findKey(keys, sig)
+	if key == nil {
+		return fmt.Errorf("%w: tag %d", ErrUnknownKey, sig.KeyTag)
+	}
+	if z.SigVerdict(sigIdx) {
+		return nil
+	}
+	if err := verifyCrypto(sig, key, signedDataZone(sig, z, set)); err != nil {
+		return err
+	}
+	z.SetSigVerdict(sigIdx, true)
+	return nil
+}
+
+// signedDataZone hashes the RFC 4034 §3.1.8.1 byte stream for a zone-resident
+// RRset using the sidecar's cached canonical wire forms. set is already in
+// canonical order, so unlike signedData no sort is needed; records whose TTL
+// differs from the signature's original TTL fall back to a fresh encode into
+// a reused scratch buffer.
+func signedDataZone(sig dnswire.RRSIGRecord, z *zone.Zone, set []int) []byte {
+	h := sha256.New()
+	preamble := sig
+	preamble.Signature = nil
+	preamble.SignerName = preamble.SignerName.Canonical()
+	h.Write(appendRRSIGPreamble(nil, preamble))
+	var scratch []byte
+	for _, i := range set {
+		rr := z.Records[i]
+		if rr.TTL == sig.OriginalTTL {
+			h.Write(z.CanonicalWire(i))
+		} else {
+			scratch = dnswire.AppendCanonicalRR(scratch[:0], rr, sig.OriginalTTL)
+			h.Write(scratch)
+		}
+	}
+	return h.Sum(nil)
 }
 
 // dsMatches recomputes the DS digest of dk and compares it to anchor.

@@ -20,6 +20,21 @@ func AppendCanonicalRR(buf []byte, rr RR, ttl uint32) []byte {
 	return buf
 }
 
+// CanonicalRR returns the canonical wire form of rr at ttl, plus the offset
+// of the RDATA octets within it. Zone sidecars cache both so canonical sorts
+// can tie-break on RDATA bytes without re-encoding.
+func CanonicalRR(rr RR, ttl uint32) (wire []byte, rdataOff int) {
+	buf := appendName(nil, rr.Name.Canonical(), 0, nil)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, ttl)
+	lenOff := len(buf)
+	buf = append(buf, 0, 0)
+	buf = canonicalData(rr.Data).appendTo(buf, 0, nil)
+	binary.BigEndian.PutUint16(buf[lenOff:], uint16(len(buf)-lenOff-2))
+	return buf, lenOff + 2
+}
+
 // canonicalData lowercases RDATA-embedded names for the types listed in
 // RFC 4034 §6.2 (as updated by RFC 6840 §5.1, which keeps only the legacy
 // types' names subject to case folding).

@@ -1,0 +1,149 @@
+package dnswire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestAppendPackSteadyStateZeroAllocs pins the tentpole contract of the
+// pooled encoder: once a caller reuses its output buffer, packing a message
+// touches the heap zero times per operation.
+func TestAppendPackSteadyStateZeroAllocs(t *testing.T) {
+	m := sampleMessage()
+	buf, err := m.AppendPack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := m.AppendPack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AppendPack allocates %v/op, want 0", allocs)
+	}
+}
+
+// packedLen packs m and returns the wire length, failing the test on error.
+func packedLen(t *testing.T, m *Message) int {
+	t.Helper()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(wire)
+}
+
+// TestCompressionPointerAtOffsetBoundary places an owner name at offsets
+// straddling the RFC 1035 pointer limit (0x4000): a suffix first seen at or
+// past the limit cannot be a compression target, so the sibling name that
+// shares it must be emitted in full rather than with an unencodable pointer.
+// Round-trip equality at each offset pins both halves of that rule.
+func TestCompressionPointerAtOffsetBoundary(t *testing.T) {
+	build := func(fillerLen int) *Message {
+		m := &Message{Header: Header{ID: 7, Response: true}}
+		m.Questions = []Question{{Name: MustName("q.example."), Type: TypeNS, Class: ClassINET}}
+		m.Answers = []RR{{
+			Name: MustName("filler.example."), Class: ClassINET, TTL: 1,
+			Data: RawRecord{RRType: Type(999), Data: make([]byte, fillerLen)},
+		}}
+		// Two names sharing the fresh suffix "boundary.test.": if the first
+		// lands past the pointer limit, the second must not point at it.
+		m.Additional = []RR{
+			{Name: MustName("x.boundary.test."), Class: ClassINET, TTL: 1,
+				Data: RawRecord{RRType: Type(998), Data: []byte{1}}},
+			{Name: MustName("y.boundary.test."), Class: ClassINET, TTL: 1,
+				Data: RawRecord{RRType: Type(998), Data: []byte{2}}},
+		}
+		return m
+	}
+	// The first additional's name starts right after the filler RR; its
+	// offset moves one-for-one with fillerLen, so solve for the boundary.
+	probe := build(0)
+	probe.Additional = nil
+	xOff0 := packedLen(t, probe)
+	for _, target := range []int{0x3FFE, 0x3FFF, 0x4000, 0x4001} {
+		m := build(target - xOff0)
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("offset 0x%X: pack: %v", target, err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("offset 0x%X: unpack: %v", target, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("offset 0x%X: round trip mismatch", target)
+		}
+	}
+}
+
+// TestUnpackTruncatedMidRR feeds every proper prefix of a valid message to
+// the decoder: all of them cut a question or RR short somewhere, so every one
+// must fail cleanly (no panic, no silent partial decode).
+func TestUnpackTruncatedMidRR(t *testing.T) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(wire); n++ {
+		if _, err := Unpack(wire[:n]); err == nil {
+			t.Fatalf("message truncated to %d of %d bytes decoded without error", n, len(wire))
+		}
+	}
+}
+
+// TestUnpackRejectsBadPointers pins the pointer-safety rules: a compression
+// pointer must target an earlier offset, so self- and forward-pointers are
+// rejected rather than looped on.
+func TestUnpackRejectsBadPointers(t *testing.T) {
+	header := func(qd byte) []byte {
+		return []byte{0, 1, 0, 0, 0, qd, 0, 0, 0, 0, 0, 0}
+	}
+	cases := []struct {
+		name string
+		msg  []byte
+	}{
+		{"self-pointer", append(header(1), 0xC0, 0x0C, 0, 1, 0, 1)},
+		{"forward-pointer", append(header(1), 0xC0, 0x20, 0, 1, 0, 1)},
+		{"pointer-past-end", append(header(1), 0xC0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Unpack(tc.msg); err == nil {
+				t.Errorf("%s decoded without error", tc.name)
+			}
+		})
+	}
+}
+
+// TestDecodeNameCacheConsistency checks that the per-message name memo is an
+// invisible optimization: decoding every name offset of a heavily compressed
+// message with a shared cache yields exactly what uncached decoding does.
+func TestDecodeNameCacheConsistency(t *testing.T) {
+	m := &Message{Header: Header{ID: 3, Response: true}}
+	m.Questions = []Question{{Name: MustName("root-servers.net."), Type: TypeNS, Class: ClassINET}}
+	for i := 0; i < 13; i++ {
+		host := MustName(fmt.Sprintf("%c.root-servers.net.", 'a'+i))
+		m.Answers = append(m.Answers, RR{
+			Name: MustName("root-servers.net."), Class: ClassINET, TTL: 1,
+			Data: NSRecord{Host: host},
+		})
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := make(nameCache)
+	for off := headerLen; off < len(wire); off++ {
+		want, wantEnd, wantErr := decodeName(wire, off)
+		got, gotEnd, gotErr := decodeNameCached(wire, off, cache)
+		if (wantErr == nil) != (gotErr == nil) || want != got || wantEnd != gotEnd {
+			t.Fatalf("offset %d: cached (%q,%d,%v) != uncached (%q,%d,%v)",
+				off, got, gotEnd, gotErr, want, wantEnd, wantErr)
+		}
+	}
+}

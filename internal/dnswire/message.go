@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // headerLen is the fixed DNS header size (RFC 1035 §4.1.1).
@@ -66,16 +67,41 @@ type Message struct {
 	Additional []RR
 }
 
+// cmPool recycles compression maps across packs. Maps are cleared before
+// reuse, which keeps their buckets allocated — steady-state packs insert
+// into warm buckets and never touch the heap.
+var cmPool = sync.Pool{New: func() any { return make(compressionMap, 32) }}
+
 // Pack encodes m into wire format with name compression.
-func (m *Message) Pack() ([]byte, error) { return m.pack(make(compressionMap)) }
+func (m *Message) Pack() ([]byte, error) { return m.AppendPack(nil) }
+
+// AppendPack encodes m with name compression, appending to buf (which may
+// be nil). Reusing the returned buffer across packs makes the steady state
+// allocation-free: the compression map comes from an internal pool and every
+// name suffix key is a substring of the message's own names.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	cm := cmPool.Get().(compressionMap)
+	out, err := m.pack(buf, cm)
+	clear(cm)
+	cmPool.Put(cm)
+	return out, err
+}
 
 // PackUncompressed encodes m without compression pointers, as used by the
 // ablation benchmarks and by consumers that need position-independent RRs.
-func (m *Message) PackUncompressed() ([]byte, error) { return m.pack(nil) }
+func (m *Message) PackUncompressed() ([]byte, error) { return m.pack(nil, nil) }
 
-func (m *Message) pack(cm compressionMap) ([]byte, error) {
-	buf := make([]byte, headerLen, 512)
-	binary.BigEndian.PutUint16(buf[0:], m.Header.ID)
+// pack appends the encoded message to dst; the message starts at len(dst),
+// and compression offsets are relative to that base.
+func (m *Message) pack(dst []byte, cm compressionMap) ([]byte, error) {
+	base := len(dst)
+	if cap(dst)-base < headerLen {
+		grown := make([]byte, base, base+512)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[: base+headerLen : cap(dst)]
+	binary.BigEndian.PutUint16(buf[base:], m.Header.ID)
 	var flags uint16
 	if m.Header.Response {
 		flags |= 1 << 15
@@ -100,21 +126,21 @@ func (m *Message) pack(cm compressionMap) ([]byte, error) {
 		flags |= 1 << 4
 	}
 	flags |= uint16(m.Header.Rcode & 0xF)
-	binary.BigEndian.PutUint16(buf[2:], flags)
-	binary.BigEndian.PutUint16(buf[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(buf[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(buf[base+2:], flags)
+	binary.BigEndian.PutUint16(buf[base+4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[base+6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[base+8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[base+10:], uint16(len(m.Additional)))
 
 	for _, q := range m.Questions {
-		buf = appendName(buf, q.Name, len(buf), cm)
+		buf = appendName(buf, q.Name, len(buf)-base, cm)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 	}
 	var err error
 	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range section {
-			buf, err = appendRR(buf, rr, cm)
+			buf, err = appendRR(buf, rr, base, cm)
 			if err != nil {
 				return nil, err
 			}
@@ -124,12 +150,12 @@ func (m *Message) pack(cm compressionMap) ([]byte, error) {
 }
 
 // appendRR appends one resource record, handling the OPT pseudo-record's
-// special Class/TTL encoding.
-func appendRR(buf []byte, rr RR, cm compressionMap) ([]byte, error) {
+// special Class/TTL encoding. base is the offset of the message start in buf.
+func appendRR(buf []byte, rr RR, base int, cm compressionMap) ([]byte, error) {
 	if rr.Data == nil {
 		return nil, errors.New("dnswire: RR with nil RData")
 	}
-	buf = appendName(buf, rr.Name, len(buf), cm)
+	buf = appendName(buf, rr.Name, len(buf)-base, cm)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type()))
 	if opt, ok := rr.Data.(OPTRecord); ok {
 		buf = binary.BigEndian.AppendUint16(buf, opt.UDPSize)
@@ -145,7 +171,7 @@ func appendRR(buf []byte, rr RR, cm compressionMap) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
 	lenOff := len(buf)
 	buf = append(buf, 0, 0)
-	buf = rr.Data.appendTo(buf, len(buf), cm)
+	buf = rr.Data.appendTo(buf, len(buf)-base, cm)
 	rdlen := len(buf) - lenOff - 2
 	if rdlen > 0xFFFF {
 		return nil, fmt.Errorf("dnswire: RDATA too long (%d)", rdlen)
@@ -176,9 +202,14 @@ func Unpack(msg []byte) (*Message, error) {
 	ns := int(binary.BigEndian.Uint16(msg[8:]))
 	ar := int(binary.BigEndian.Uint16(msg[10:]))
 
+	// One name memo per message: compression pointers target earlier names,
+	// so most RRs in a zone transfer chunk resolve their owner (and RDATA
+	// hosts) from the cache instead of re-walking labels.
+	cache := make(nameCache, qd+an+ns+ar+1)
+
 	off := headerLen
 	for i := 0; i < qd; i++ {
-		name, next, err := decodeName(msg, off)
+		name, next, err := decodeNameCached(msg, off, cache)
 		if err != nil {
 			return nil, fmt.Errorf("question %d: %w", i, err)
 		}
@@ -197,9 +228,21 @@ func Unpack(msg []byte) (*Message, error) {
 		count int
 		dst   *[]RR
 	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		if sec.count > 0 {
+			// Each RR takes at least 11 octets on the wire; sizing the slice
+			// from the remaining bytes bounds the count claimed by a hostile
+			// header while giving honest messages a single exact allocation.
+			hint := sec.count
+			if max := (len(msg) - off) / 11; max < hint {
+				hint = max
+			}
+			if hint > 0 {
+				*sec.dst = make([]RR, 0, hint)
+			}
+		}
 		for i := 0; i < sec.count; i++ {
 			var rr RR
-			rr, off, err = decodeRR(msg, off)
+			rr, off, err = decodeRR(msg, off, cache)
 			if err != nil {
 				return nil, err
 			}
@@ -210,8 +253,8 @@ func Unpack(msg []byte) (*Message, error) {
 }
 
 // decodeRR decodes one resource record starting at off.
-func decodeRR(msg []byte, off int) (RR, int, error) {
-	name, off, err := decodeName(msg, off)
+func decodeRR(msg []byte, off int, cache nameCache) (RR, int, error) {
+	name, off, err := decodeNameCached(msg, off, cache)
 	if err != nil {
 		return RR{}, 0, err
 	}
@@ -235,7 +278,7 @@ func decodeRR(msg []byte, off int) (RR, int, error) {
 			Do:      ttl&(1<<15) != 0,
 		}}, end, nil
 	}
-	data, err := decodeRData(msg, off, rdata, typ)
+	data, err := decodeRData(msg, off, rdata, typ, cache)
 	if err != nil {
 		return RR{}, 0, fmt.Errorf("dnswire: decoding %s RDATA for %s: %w", typ, name, err)
 	}
@@ -244,7 +287,7 @@ func decodeRR(msg []byte, off int) (RR, int, error) {
 
 // decodeRData decodes typed RDATA. msg and off are needed because RDATA name
 // fields may contain compression pointers into the full message.
-func decodeRData(msg []byte, off int, rdata []byte, typ Type) (RData, error) {
+func decodeRData(msg []byte, off int, rdata []byte, typ Type, cache nameCache) (RData, error) {
 	switch typ {
 	case TypeA:
 		if len(rdata) != 4 {
@@ -257,7 +300,7 @@ func decodeRData(msg []byte, off int, rdata []byte, typ Type) (RData, error) {
 		}
 		return AAAARecord{Addr: netip.AddrFrom16([16]byte(rdata))}, nil
 	case TypeNS, TypeCNAME, TypePTR:
-		host, _, err := decodeName(msg, off)
+		host, _, err := decodeNameCached(msg, off, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -273,17 +316,17 @@ func decodeRData(msg []byte, off int, rdata []byte, typ Type) (RData, error) {
 		if len(rdata) < 3 {
 			return nil, ErrTruncated
 		}
-		host, _, err := decodeName(msg, off+2)
+		host, _, err := decodeNameCached(msg, off+2, cache)
 		if err != nil {
 			return nil, err
 		}
 		return MXRecord{Preference: binary.BigEndian.Uint16(rdata), Host: host}, nil
 	case TypeSOA:
-		mname, next, err := decodeName(msg, off)
+		mname, next, err := decodeNameCached(msg, off, cache)
 		if err != nil {
 			return nil, err
 		}
-		rname, next, err := decodeName(msg, next)
+		rname, next, err := decodeNameCached(msg, next, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -98,25 +98,64 @@ func (n Name) SubdomainOf(parent Name) bool {
 
 // CompareCanonical orders names in DNSSEC canonical order (RFC 4034 §6.1):
 // by label from the rightmost, comparing lowercased labels as octet strings,
-// with a shorter name sorting first when it is a prefix.
+// with a shorter name sorting first when it is a prefix. It allocates
+// nothing: labels are walked in place from the right, folding ASCII case,
+// which keeps the canonical sorts on the zone-integrity hot path off the
+// heap.
 func CompareCanonical(a, b Name) int {
-	al, bl := a.Canonical().Labels(), b.Canonical().Labels()
-	for i := 1; i <= len(al) && i <= len(bl); i++ {
-		la, lb := al[len(al)-i], bl[len(bl)-i]
-		if la != lb {
-			if la < lb {
+	if a == b {
+		return 0
+	}
+	as := strings.TrimSuffix(string(a), ".")
+	bs := strings.TrimSuffix(string(b), ".")
+	ai, bi := len(as), len(bs)
+	for ai > 0 && bi > 0 {
+		aStart := strings.LastIndexByte(as[:ai], '.') + 1
+		bStart := strings.LastIndexByte(bs[:bi], '.') + 1
+		if c := compareFoldASCII(as[aStart:ai], bs[bStart:bi]); c != 0 {
+			return c
+		}
+		ai, bi = aStart-1, bStart-1
+	}
+	switch {
+	case ai <= 0 && bi <= 0:
+		return 0
+	case ai <= 0:
+		return -1
+	}
+	return 1
+}
+
+// compareFoldASCII compares two labels as octet strings after ASCII
+// lowercasing, the RFC 4034 §6.1 label comparison.
+func compareFoldASCII(x, y string) int {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := foldASCII(x[i]), foldASCII(y[i])
+		if cx != cy {
+			if cx < cy {
 				return -1
 			}
 			return 1
 		}
 	}
 	switch {
-	case len(al) < len(bl):
+	case len(x) < len(y):
 		return -1
-	case len(al) > len(bl):
+	case len(x) > len(y):
 		return 1
 	}
 	return 0
+}
+
+func foldASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
 }
 
 // wireLen returns the uncompressed wire length of n.
@@ -142,11 +181,17 @@ type compressionMap map[Name]int
 // case-insensitively, but matching only byte-identical suffixes keeps
 // pack/unpack round trips byte-faithful (a case-insensitive match would
 // silently rewrite a name's case when two spellings share a suffix).
+// Suffixes are substrings of n, so the encode allocates nothing beyond
+// buf growth; together with a pooled cm this is what makes steady-state
+// packs allocation-free.
 func appendName(buf []byte, n Name, off int, cm compressionMap) []byte {
-	labels := n.Labels()
-	for i := range labels {
-		suffix := Name(strings.Join(labels[i:], ".") + ".")
+	if n.IsRoot() || n == "" {
+		return append(buf, 0)
+	}
+	s := string(n)
+	for i := 0; i < len(s); {
 		if cm != nil {
+			suffix := Name(s[i:])
 			if ptr, ok := cm[suffix]; ok {
 				return append(buf, 0xC0|byte(ptr>>8), byte(ptr))
 			}
@@ -154,21 +199,46 @@ func appendName(buf []byte, n Name, off int, cm compressionMap) []byte {
 				cm[suffix] = off
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
-		off += 1 + len(labels[i])
+		end := strings.IndexByte(s[i:], '.')
+		if end < 0 {
+			end = len(s) // tolerate a missing trailing dot, as Labels() did
+		} else {
+			end += i
+		}
+		buf = append(buf, byte(end-i))
+		buf = append(buf, s[i:end]...)
+		off += 1 + end - i
+		i = end + 1
 	}
 	return append(buf, 0)
 }
+
+// nameCache memoizes decoded names by their start offset within one message.
+// Compression pointers in a packed message target offsets where a name (or a
+// name suffix) was first written, so once that offset has been decoded every
+// later pointer to it resolves without re-walking labels — the decode half of
+// the allocation-lean wire fast path.
+type nameCache map[int]Name
 
 // decodeName decodes a (possibly compressed) name starting at off in msg.
 // It returns the name and the offset just past the name's representation at
 // off (pointers are followed but do not advance the caller's cursor).
 func decodeName(msg []byte, off int) (Name, int, error) {
+	return decodeNameCached(msg, off, nil)
+}
+
+// decodeNameCached is decodeName with a per-message memo of offset→name.
+// Jump targets encountered while decoding are recorded too (as suffixes of
+// the final name), so sibling names sharing a compressed tail hit the cache.
+func decodeNameCached(msg []byte, off int, cache nameCache) (Name, int, error) {
 	var sb strings.Builder
 	ptrBudget := len(msg) // each pointer must strictly decrease; bound loops
 	jumped := false
+	start := off
 	end := off
+	// jumps records (target offset, prefix length in sb) for cache fills.
+	var jumps [8][2]int
+	nJumps := 0
 	for {
 		if off >= len(msg) {
 			return "", 0, ErrTruncated
@@ -186,6 +256,14 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if name.wireLen() > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
+			if cache != nil {
+				cache[start] = name
+				for i := 0; i < nJumps; i++ {
+					if jumps[i][1] < len(name) {
+						cache[jumps[i][0]] = name[jumps[i][1]:]
+					}
+				}
+			}
 			return name, end, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
@@ -198,6 +276,26 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if !jumped {
 				end = off + 2
 				jumped = true
+			}
+			if cache != nil {
+				if suffix, ok := cache[ptr]; ok {
+					sb.WriteString(string(suffix))
+					name := Name(sb.String())
+					if name.wireLen() > MaxNameLen {
+						return "", 0, ErrNameTooLong
+					}
+					cache[start] = name
+					for i := 0; i < nJumps; i++ {
+						if jumps[i][1] < len(name) {
+							cache[jumps[i][0]] = name[jumps[i][1]:]
+						}
+					}
+					return name, end, nil
+				}
+				if nJumps < len(jumps) {
+					jumps[nJumps] = [2]int{ptr, sb.Len()}
+					nJumps++
+				}
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {

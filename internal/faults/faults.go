@@ -83,7 +83,7 @@ func FlipSignatureBit(z *zone.Zone, rng *rand.Rand) (Bitflip, bool) {
 	pos := rng.Intn(len(flipped))
 	flipped[pos] ^= 1 << rng.Intn(8)
 	sig.Signature = flipped
-	z.Records[i].Data = sig
+	z.MutateRecord(i, func(rr *dnswire.RR) { rr.Data = sig })
 	return Bitflip{RecordIndex: i, Before: before, After: z.Records[i].String()}, true
 }
 
@@ -114,7 +114,7 @@ func FlipNameBit(z *zone.Zone, rng *rand.Rand) (Bitflip, bool) {
 			continue
 		}
 		before := rr.String()
-		z.Records[i].Name = newName
+		z.MutateRecord(i, func(rr *dnswire.RR) { rr.Name = newName })
 		return Bitflip{RecordIndex: i, Before: before, After: z.Records[i].String()}, true
 	}
 	return Bitflip{}, false

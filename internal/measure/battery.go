@@ -57,6 +57,9 @@ func (r *BatteryResult) check(cond bool, format string, args ...any) {
 func (b *Battery) Run(target rss.ServiceAddr, expectIdentity string) BatteryResult {
 	var res BatteryResult
 	var id uint16
+	// One scratch buffer serves all 47 round-trips: Unpack copies everything
+	// it keeps, so each pack may overwrite the previous message's bytes.
+	var scratch []byte
 
 	query := func(name dnswire.Name, typ dnswire.Type, class dnswire.Class) *dnswire.Message {
 		id++
@@ -67,11 +70,12 @@ func (b *Battery) Run(target rss.ServiceAddr, expectIdentity string) BatteryResu
 		q.WithEDNS(4096, true)
 		res.Queries++
 		// Round-trip through the wire codec, as a socket would.
-		wire, err := q.Pack()
+		wire, err := q.AppendPack(scratch[:0])
 		if err != nil {
 			res.check(false, "pack %s/%s: %v", name, typ, err)
 			return nil
 		}
+		scratch = wire[:0]
 		parsed, err := dnswire.Unpack(wire)
 		if err != nil {
 			res.check(false, "unpack %s/%s: %v", name, typ, err)
@@ -82,11 +86,12 @@ func (b *Battery) Run(target rss.ServiceAddr, expectIdentity string) BatteryResu
 			res.check(false, "no response for %s/%s", name, typ)
 			return nil
 		}
-		respWire, err := resp.Pack()
+		respWire, err := resp.AppendPack(scratch[:0])
 		if err != nil {
 			res.check(false, "pack response %s/%s: %v", name, typ, err)
 			return nil
 		}
+		scratch = respWire[:0]
 		back, err := dnswire.Unpack(respWire)
 		if err != nil {
 			res.check(false, "unpack response %s/%s: %v", name, typ, err)

@@ -544,7 +544,11 @@ func (c *Campaign) validateUncached(serial uint32, state zonemd.RolloutState, fa
 		return valResult{dnssecErr: err}
 	}
 	if fault == faults.BitflipSignature || fault == faults.BitflipName {
-		z = z.Clone()
+		// Copy-on-write: the flip mutates one record, so sharing the cached
+		// canonical forms (and signature verdicts) of the untouched records
+		// with the cached signed zone makes re-validation after the flip pay
+		// only for what the flip actually invalidated.
+		z = z.CloneCOW()
 		rng := mrand.New(mrand.NewSource(c.Cfg.Seed ^ int64(serial)))
 		var flip faults.Bitflip
 		var ok bool

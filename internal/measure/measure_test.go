@@ -408,6 +408,37 @@ func TestBatteryCacheEvictsOldestSerial(t *testing.T) {
 	}
 }
 
+// TestBatteryCacheEvictionSerialOrder drives the cache through a monotone
+// serial sequence, as the campaign tick loop does, and pins two properties
+// of the PR 1 eviction policy: entries leave in strict serial order (after
+// every insertion the survivors are exactly the highest serials seen), and
+// the entry for the current tick's serial is never the one evicted.
+func TestBatteryCacheEvictionSerialOrder(t *testing.T) {
+	const max = 4
+	bc := newBatteryCache(max)
+	key := func(serial uint32) zoneKey { return zoneKey{serial: serial} }
+	serials := []uint32{
+		2023070100, 2023070101, 2023070102, 2023070200,
+		2023070201, 2023070300, 2023070301, 2023070400,
+	}
+	for i, s := range serials {
+		bc.put(key(s), &Battery{})
+		if _, ok := bc.get(key(s)); !ok {
+			t.Fatalf("current tick's serial %d missing right after put", s)
+		}
+		lo := 0
+		if i+1 > max {
+			lo = i + 1 - max
+		}
+		for j, other := range serials[:i+1] {
+			_, ok := bc.get(key(other))
+			if want := j >= lo; ok != want {
+				t.Errorf("after inserting %d: serial %d cached=%v, want %v", s, other, ok, want)
+			}
+		}
+	}
+}
+
 // TestRTTJitterDistribution checks the splitmix-based jitter stays uniform
 // in [0, 2) and deterministic.
 func TestRTTJitterDistribution(t *testing.T) {

@@ -1,0 +1,53 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flag pair into
+// the measurement CLIs so the zone-integrity hot path can be inspected with
+// `go tool pprof` on real campaign runs, not just microbenchmarks.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile = flag.String("memprofile", "", "write a heap profile to `file` on exit")
+)
+
+// Start begins CPU profiling if -cpuprofile was given. The returned stop
+// function must run before the process exits: it flushes the CPU profile
+// and, if -memprofile was given, writes a post-GC heap snapshot. Call it
+// after flag.Parse.
+func Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		cpuFile, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

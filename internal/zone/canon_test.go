@@ -1,0 +1,165 @@
+package zone
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+// sidecarZone builds a small synthesized root zone for sidecar tests.
+func sidecarZone() *Zone {
+	cfg := DefaultRootConfig()
+	cfg.TLDCount = 12
+	return SynthesizeRoot(cfg)
+}
+
+// TestCanonicalWireMatchesFreshEncode pins the cache's ground truth: every
+// cached canonical form must equal a from-scratch canonical encode.
+func TestCanonicalWireMatchesFreshEncode(t *testing.T) {
+	z := sidecarZone()
+	for i, rr := range z.Records {
+		want := dnswire.AppendCanonicalRR(nil, rr, rr.TTL)
+		if got := z.CanonicalWire(i); !bytes.Equal(got, want) {
+			t.Fatalf("record %d (%s): cached wire differs from fresh encode", i, rr)
+		}
+	}
+}
+
+// TestCanonicalOrderMatchesStableSort checks the index permutation against
+// the reference comparator used before the sidecar existed.
+func TestCanonicalOrderMatchesStableSort(t *testing.T) {
+	z := sidecarZone()
+	want := make([]int, len(z.Records))
+	for i := range want {
+		want[i] = i
+	}
+	sort.SliceStable(want, func(a, b int) bool {
+		return dnswire.CanonicalRRLess(z.Records[want[a]], z.Records[want[b]])
+	})
+	got := z.CanonicalOrder()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCanonicalizePreservesWires verifies the permuting sort keeps record ↔
+// cached-wire correspondence intact.
+func TestCanonicalizePreservesWires(t *testing.T) {
+	z := sidecarZone()
+	z.CanonicalOrder() // warm the sidecar before the sort
+	z.Canonicalize()
+	for i, rr := range z.Records {
+		want := dnswire.AppendCanonicalRR(nil, rr, rr.TTL)
+		if !bytes.Equal(z.CanonicalWire(i), want) {
+			t.Fatalf("after Canonicalize, record %d (%s) has a stale cached wire", i, rr)
+		}
+	}
+	order := z.CanonicalOrder()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("after Canonicalize, order[%d] = %d, want identity", i, order[i])
+		}
+	}
+}
+
+// TestMutateRecordRefreshesSidecar flips a byte through MutateRecord and
+// checks the touched record's wire and the zone-wide order both update.
+func TestMutateRecordRefreshesSidecar(t *testing.T) {
+	z := sidecarZone().Canonicalize()
+	i := len(z.Records) / 2
+	old := append([]byte(nil), z.CanonicalWire(i)...)
+	rr := z.Records[i]
+	newName := dnswire.MustName("zzzz-mutated." + string(rr.Name))
+	z.MutateRecord(i, func(rr *dnswire.RR) { rr.Name = newName })
+	if bytes.Equal(z.CanonicalWire(i), old) {
+		t.Fatal("cached wire unchanged after mutation")
+	}
+	if want := dnswire.AppendCanonicalRR(nil, z.Records[i], z.Records[i].TTL); !bytes.Equal(z.CanonicalWire(i), want) {
+		t.Fatal("cached wire does not match mutated record")
+	}
+	// The renamed record must resort to its new canonical position.
+	order := z.CanonicalOrder()
+	pos := -1
+	for p, idx := range order {
+		if idx == i {
+			pos = p
+		}
+	}
+	if pos < 0 {
+		t.Fatal("mutated record missing from canonical order")
+	}
+	if pos == 0 {
+		t.Fatal("mutated record did not move despite new owner name")
+	}
+}
+
+// TestCloneCOWIsolation mutates a copy-on-write clone and checks the parent's
+// records and cached wires are untouched, while the clone sees its own edit.
+func TestCloneCOWIsolation(t *testing.T) {
+	parent := sidecarZone().Canonicalize()
+	i := 3
+	parentWire := append([]byte(nil), parent.CanonicalWire(i)...)
+	parentRR := parent.Records[i].String()
+
+	clone := parent.CloneCOW()
+	clone.MutateRecord(i, func(rr *dnswire.RR) { rr.TTL += 9999 })
+
+	if parent.Records[i].String() != parentRR {
+		t.Fatal("parent record changed through clone mutation")
+	}
+	if !bytes.Equal(parent.CanonicalWire(i), parentWire) {
+		t.Fatal("parent cached wire changed through clone mutation")
+	}
+	if bytes.Equal(clone.CanonicalWire(i), parentWire) {
+		t.Fatal("clone cached wire did not update after mutation")
+	}
+	// Untouched records still share the parent's cached encodings.
+	for j := range parent.Records {
+		if j == i {
+			continue
+		}
+		if &parent.CanonicalWire(j)[0] != &clone.CanonicalWire(j)[0] {
+			t.Fatalf("record %d: clone re-encoded an untouched record", j)
+		}
+	}
+}
+
+// TestSigVerdictClearedOnMutation checks verdict invalidation: flipping a
+// record clears cached verdicts for RRSIGs covering that record's RRset and
+// for the record itself, but keeps unrelated verdicts.
+func TestSigVerdictClearedOnMutation(t *testing.T) {
+	z := sidecarZone()
+	// Fake RRSIG layout: records[0] is covered by a sig at index sigIdx.
+	target := 0
+	targetName, targetType := z.Records[target].Name, z.Records[target].Type()
+	sigIdx := -1
+	other := -1
+	for i, rr := range z.Records {
+		if i == target {
+			continue
+		}
+		if rr.Name.Canonical() != targetName.Canonical() && other < 0 {
+			other = i
+		}
+	}
+	z.Add(dnswire.RR{
+		Name: targetName, Class: dnswire.ClassINET, TTL: 1,
+		Data: dnswire.RRSIGRecord{TypeCovered: targetType, SignerName: z.Apex},
+	})
+	sigIdx = len(z.Records) - 1
+	z.SetSigVerdict(sigIdx, true)
+	if other >= 0 {
+		z.SetSigVerdict(other, true)
+	}
+	z.MutateRecord(target, func(rr *dnswire.RR) { rr.TTL++ })
+	if z.SigVerdict(sigIdx) {
+		t.Error("verdict for covering RRSIG survived mutation of its RRset")
+	}
+	if other >= 0 && !z.SigVerdict(other) {
+		t.Error("unrelated verdict was cleared")
+	}
+}

@@ -8,15 +8,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dnswire"
 )
 
 // Zone is a collection of resource records for one apex. Records are kept in
 // insertion order; Canonicalize sorts them into RFC 4034 §6 canonical order.
+//
+// Zones carry a lazily built canonical-form sidecar (see canon.go) caching
+// each record's canonical wire form, the canonical ordering, and signature
+// verdicts. Mutate Records only through Add, MutateRecord, or the copy
+// constructors, so the sidecar stays coherent.
 type Zone struct {
 	Apex    dnswire.Name
 	Records []dnswire.RR
+
+	canon atomic.Pointer[canonState]
 }
 
 // New returns an empty zone rooted at apex.
@@ -24,8 +32,11 @@ func New(apex dnswire.Name) *Zone {
 	return &Zone{Apex: apex}
 }
 
-// Add appends records to the zone.
-func (z *Zone) Add(rrs ...dnswire.RR) { z.Records = append(z.Records, rrs...) }
+// Add appends records to the zone and invalidates the canonical sidecar.
+func (z *Zone) Add(rrs ...dnswire.RR) {
+	z.Records = append(z.Records, rrs...)
+	z.canon.Store(nil)
+}
 
 // SOA returns the zone's SOA record. The second return is false when the
 // zone has none (an invalid zone; AXFR consumers treat it as an error).
@@ -102,11 +113,42 @@ func (z *Zone) Glue(host dnswire.Name) []dnswire.RR {
 }
 
 // Canonicalize sorts the records into canonical order (owner name, class,
-// type, RDATA) and returns z for chaining.
+// type, RDATA) and returns z for chaining. The cached canonical wire forms
+// survive the sort: the sidecar's permutation is applied to records and
+// cache slots together, so a Sign → Digest → AXFR pipeline encodes each
+// record exactly once.
 func (z *Zone) Canonicalize() *Zone {
-	sort.SliceStable(z.Records, func(i, j int) bool {
-		return dnswire.CanonicalRRLess(z.Records[i], z.Records[j])
-	})
+	cs := z.state()
+	cs.ensureOrder(z)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := len(z.Records)
+	recs := make([]dnswire.RR, n)
+	wire := make([][]byte, n)
+	rd := make([]int, n)
+	sig := make([]uint32, n)
+	for newI, oldI := range cs.order {
+		recs[newI] = z.Records[oldI]
+		wire[newI] = cs.wire[oldI]
+		rd[newI] = cs.rd[oldI]
+		sig[newI] = atomic.LoadUint32(&cs.sigOK[oldI])
+	}
+	z.Records = recs
+	cs.wire, cs.rd, cs.sigOK = wire, rd, sig
+	// Records are now in canonical order: the permutation becomes the
+	// identity and groups become contiguous runs. Build fresh slices — the
+	// old ones may be shared with clones.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	groups := make([][]int, len(cs.groups))
+	p := 0
+	for gi, g := range cs.groups {
+		groups[gi] = order[p : p+len(g) : p+len(g)]
+		p += len(g)
+	}
+	cs.order, cs.groups = order, groups
 	return z
 }
 

@@ -10,7 +10,6 @@ import (
 	"crypto/sha512"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/dnssec"
@@ -79,9 +78,16 @@ func Digest(z *zone.Zone) ([]byte, error) {
 	if _, ok := z.SOA(); !ok {
 		return nil, errors.New("zonemd: zone has no SOA")
 	}
-	records := make([]dnswire.RR, 0, len(z.Records))
-	for _, rr := range z.Records {
-		if rr.Name.Canonical() == z.Apex.Canonical() {
+	// Walk the zone's cached canonical order and wire forms. Filtering the
+	// sorted stream is equivalent to the spec's sort-then-filter (removing
+	// elements never reorders the survivors of a stable sort), so the digest
+	// bytes are unchanged — but a warm zone digests with zero re-encoding.
+	apex := z.Apex.Canonical()
+	h := sha512.New384()
+	var prev []byte
+	for _, i := range z.CanonicalOrder() {
+		rr := z.Records[i]
+		if rr.Name.Canonical() == apex {
 			if rr.Type() == dnswire.TypeZONEMD {
 				continue
 			}
@@ -89,15 +95,7 @@ func Digest(z *zone.Zone) ([]byte, error) {
 				continue
 			}
 		}
-		records = append(records, rr)
-	}
-	sort.SliceStable(records, func(i, j int) bool {
-		return dnswire.CanonicalRRLess(records[i], records[j])
-	})
-	h := sha512.New384()
-	var prev []byte
-	for _, rr := range records {
-		wire := dnswire.AppendCanonicalRR(nil, rr, rr.TTL)
+		wire := z.CanonicalWire(i)
 		if bytes.Equal(wire, prev) {
 			continue // RFC 8976 §3.3.1: duplicate RRs are digested once
 		}

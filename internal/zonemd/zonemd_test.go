@@ -64,12 +64,16 @@ func TestVerifyDetectsMutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Mutate one glue record.
+	// Mutate one glue record through the invalidating mutation path, as the
+	// fault injectors do; the cached canonical form must be refreshed so the
+	// digest actually sees the flipped bit.
 	for i, rr := range z.Records {
 		if a, ok := rr.Data.(dnswire.ARecord); ok {
 			b := a.Addr.As4()
 			b[3] ^= 0x01
-			z.Records[i].Data = dnswire.ARecord{Addr: netip.AddrFrom4(b)}
+			z.MutateRecord(i, func(rr *dnswire.RR) {
+				rr.Data = dnswire.ARecord{Addr: netip.AddrFrom4(b)}
+			})
 			break
 		}
 	}

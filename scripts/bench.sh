@@ -1,0 +1,51 @@
+#!/bin/sh
+# Benchmark the zone-integrity hot path (encode, canonicalize, digest,
+# validate, transfer) with -benchmem and record ns/op + allocs/op next to the
+# pre-optimization baselines in BENCH_PR2.json. The baselines below were
+# captured on this repo immediately before the allocation-free fast path
+# landed (same harness, -benchtime 1s, single-CPU Xeon @ 2.70GHz).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR2.json
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkWirePack$|BenchmarkWireAppendPack$|BenchmarkWireUnpack$|BenchmarkZoneSign$|BenchmarkZoneValidate$|BenchmarkZonemdDigest$|BenchmarkAXFRServeReceive$' \
+	-benchmem -benchtime 1s .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk '
+BEGIN {
+	# name -> "ns_before allocs_before" (null when the benchmark is new in
+	# this PR and has no pre-optimization counterpart).
+	before["BenchmarkWirePack"]         = "7419 74"
+	before["BenchmarkWireAppendPack"]   = "null null"
+	before["BenchmarkWireUnpack"]       = "5255 72"
+	before["BenchmarkZoneSign"]         = "null null"
+	before["BenchmarkZoneValidate"]     = "13900000 7363"
+	before["BenchmarkZonemdDigest"]     = "1990000 16104"
+	before["BenchmarkAXFRServeReceive"] = "2560000 19642"
+	n = 0
+}
+$1 ~ /^Benchmark/ && $0 ~ /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = allocs = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	split(before[name], b, " ")
+	if (b[1] == "") { b[1] = "null"; b[2] = "null" }
+	rows[n++] = sprintf("    {\"benchmark\": \"%s\", \"before\": {\"ns_op\": %s, \"allocs_op\": %s}, \"after\": {\"ns_op\": %s, \"allocs_op\": %s}}",
+		name, b[1], b[2], ns, allocs)
+}
+END {
+	print "{"
+	print "  \"note\": \"before = pre-optimization baseline (same harness, -benchtime 1s); after = this tree via scripts/bench.sh\","
+	print "  \"results\": ["
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+	print "  ]"
+	print "}"
+}' >"$out"
+
+echo "wrote $out" >&2
