@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench report
+.PHONY: all build test race bench report check
 
 all: build test
 
@@ -16,6 +16,12 @@ test: build
 # window so the single-flight caches are contended under the detector.
 race:
 	$(GO) test -race ./internal/measure/... ./internal/analysis/...
+
+# Robustness gate: go vet, a short fuzz smoke over the dnswire codec, and
+# the chaos matrix (failpoint kill/resume byte-identity, worker supervision,
+# torn-tail recovery). See scripts/check.sh.
+check:
+	sh scripts/check.sh
 
 # Regenerate the reproduction report via the benchmark harness.
 # BENCH_SCALE overrides schedule thinning (smaller = higher fidelity, slower).

@@ -60,6 +60,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if reader.Torn() {
+		fmt.Fprintf(os.Stderr, "rootanalyze: warning: dataset has a torn trailing block (%v); "+
+			"replayed the sealed prefix only — the recording was likely interrupted "+
+			"and can be completed with rootmeasure -resume\n", reader.TornReason())
+	}
 	fmt.Printf("replayed %d probes, %d transfers from %s\n\n", probes, transfers, *in)
 
 	coverage.WriteTable1(os.Stdout)

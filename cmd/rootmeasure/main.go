@@ -7,16 +7,23 @@
 // Usage:
 //
 //	rootmeasure -out study.rgds [-seed 1] [-workers N] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
+//	            [-checkpoint study.ckpt] [-checkpoint-every N] [-resume] [-errbudget N] [-chaos spec]
 //	            [-cpuprofile prof.out] [-memprofile mem.out]
+//
+// With -checkpoint, the recording is crash-safe: progress is checkpointed
+// every -checkpoint-every ticks, and a killed run restarted with -resume
+// continues from the checkpoint and produces a byte-identical dataset.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/failpoint"
 	"repro/internal/measure"
 	"repro/internal/prof"
 	"repro/internal/topology"
@@ -32,7 +39,21 @@ func main() {
 	tlds := flag.Int("tlds", 80, "synthesized root zone TLD count")
 	start := flag.String("start", "", "campaign start (YYYY-MM-DD)")
 	end := flag.String("end", "", "campaign end (YYYY-MM-DD)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint sidecar file (enables crash-safe, resumable recording)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in ticks (0 = 32; must match between a run and its resume)")
+	resume := flag.Bool("resume", false, "resume an interrupted recording from -checkpoint")
+	errBudget := flag.Int("errbudget", 0, "degraded outcomes (recovered panics, probe errors, retried write errors) tolerated before aborting; negative = unlimited")
+	chaos := flag.String("chaos", "", "failpoint spec site=action[@N][,...] with action panic|error|kill, e.g. campaign/tick=kill@5")
 	flag.Parse()
+
+	if *chaos != "" {
+		if err := failpoint.Enable(*chaos); err != nil {
+			fatal(err)
+		}
+	}
+	if *resume && *checkpoint == "" {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -43,6 +64,10 @@ func main() {
 	mCfg := measure.DefaultConfig()
 	mCfg.Seed, mCfg.Scale, mCfg.TLDCount = *seed, *scale, *tlds
 	mCfg.Workers = *workers
+	mCfg.CheckpointPath = *checkpoint
+	mCfg.CheckpointEvery = *ckptEvery
+	mCfg.Resume = *resume
+	mCfg.ErrorBudget = *errBudget
 	if *start != "" {
 		t, err := time.Parse("2006-01-02", *start)
 		if err != nil {
@@ -67,18 +92,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
+	var f *os.File
+	var writer *dataset.Writer
+	if *resume {
+		// Continue the interrupted recording: reopen the dataset and rewind
+		// it to the sealed offset the checkpoint recorded.
+		cp, err := measure.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		state, err := cp.HandlerState(0)
+		if err != nil {
+			fatal(err)
+		}
+		if f, err = os.OpenFile(*out, os.O_RDWR, 0); err != nil {
+			fatal(err)
+		}
+		if writer, err = dataset.ResumeWriter(f, state); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resuming at tick %d/%d (%d probes, %d transfers recorded)\n",
+			cp.TickPos, cp.TickCount, writer.Probes, writer.Transfers)
+	} else {
+		if f, err = os.Create(*out); err != nil {
+			fatal(err)
+		}
+		if writer, err = dataset.NewWriter(f); err != nil {
+			fatal(err)
+		}
 	}
 	defer f.Close()
-	writer, err := dataset.NewWriter(f)
-	if err != nil {
-		fatal(err)
-	}
 
 	began := time.Now()
 	if err := measure.NewCampaign(mCfg, world).Run(writer); err != nil {
+		if errors.Is(err, failpoint.ErrKilled) {
+			// Simulated SIGKILL: exit without sealing or closing, leaving
+			// the on-disk state exactly as a real kill would.
+			fmt.Fprintf(os.Stderr, "rootmeasure: %v (restart with -resume)\n", err)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	if err := writer.Close(); err != nil {

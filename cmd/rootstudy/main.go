@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rootstudy [-quick] [-seed N] [-workers N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
-//	          [-cpuprofile prof.out] [-memprofile mem.out]
+//	          [-errbudget N] [-chaos spec] [-cpuprofile prof.out] [-memprofile mem.out]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/control"
+	"repro/internal/failpoint"
 	"repro/internal/prof"
 	"repro/internal/propagation"
 	"repro/internal/topology"
@@ -29,7 +30,16 @@ func main() {
 	vpScale := flag.Int("vpscale", 0, "vantage-point population divisor (0 = config default)")
 	start := flag.String("start", "", "campaign start date (YYYY-MM-DD, default paper start)")
 	end := flag.String("end", "", "campaign end date (YYYY-MM-DD, default paper end)")
+	errBudget := flag.Int("errbudget", 0, "degraded outcomes tolerated before aborting the campaign (negative = unlimited)")
+	chaos := flag.String("chaos", "", "failpoint spec site=action[@N][,...] for chaos testing")
 	flag.Parse()
+
+	if *chaos != "" {
+		if err := failpoint.Enable(*chaos); err != nil {
+			fmt.Fprintf(os.Stderr, "rootstudy: bad -chaos: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -44,6 +54,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.ErrorBudget = *errBudget
 	if *scale > 0 {
 		cfg.Scale = *scale
 	}

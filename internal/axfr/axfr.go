@@ -21,6 +21,13 @@ var (
 	ErrNotBracketed = errors.New("axfr: transfer not bracketed by SOA records")
 	ErrRefused      = errors.New("axfr: transfer refused")
 	ErrEmpty        = errors.New("axfr: empty transfer")
+	// ErrTruncatedFrame classifies a TCP frame that ends before delivering
+	// the bytes its length prefix declared (including a partial prefix) —
+	// the wire signature of a connection cut mid-message.
+	ErrTruncatedFrame = errors.New("axfr: truncated TCP frame")
+	// ErrTruncatedTransfer classifies a transfer stream that ends after
+	// some records but before the closing SOA bracket.
+	ErrTruncatedTransfer = errors.New("axfr: transfer ended before closing SOA")
 )
 
 // MaxMessageBytes is the soft per-message payload budget when serving a
@@ -60,7 +67,10 @@ func WriteMessage(w io.Writer, m *dnswire.Message) error {
 func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 	var prefix [2]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return nil, err
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: partial length prefix", ErrTruncatedFrame)
+		}
+		return nil, err // a clean EOF at a frame boundary stays io.EOF
 	}
 	n := int(binary.BigEndian.Uint16(prefix[:]))
 	bp := framePool.Get().(*[]byte)
@@ -72,7 +82,7 @@ func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 	}
 	wire = wire[:n]
 	if _, err := io.ReadFull(r, wire); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: frame declared %d bytes: %v", ErrTruncatedFrame, n, err)
 	}
 	return dnswire.Unpack(wire)
 }
@@ -179,6 +189,11 @@ func Receive(r io.Reader, id uint16) (*zone.Zone, error) {
 	for soaSeen < 2 {
 		m, err := ReadMessage(r)
 		if err != nil {
+			if soaSeen > 0 || len(records) > 0 {
+				// The stream delivered part of the zone and then stopped:
+				// a mid-transfer disconnect, distinct from a dead server.
+				return nil, fmt.Errorf("%w after %d records (%v)", ErrTruncatedTransfer, len(records), err)
+			}
 			return nil, fmt.Errorf("axfr: read: %w", err)
 		}
 		if m.Header.ID != id {

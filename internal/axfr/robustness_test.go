@@ -1,0 +1,117 @@
+package axfr
+
+// Stream-robustness tests: a transfer peer that disconnects mid-stream,
+// truncates a TCP frame, or advertises a length it never delivers must
+// produce a classified error — never a hang, a panic, or a silently short
+// zone.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBoundaries returns the byte offsets at which each complete frame of
+// the serialized stream ends.
+func frameBoundaries(t *testing.T, stream []byte) []int {
+	t.Helper()
+	var ends []int
+	off := 0
+	for off < len(stream) {
+		if off+2 > len(stream) {
+			t.Fatal("stream ends inside a length prefix")
+		}
+		n := int(stream[off])<<8 | int(stream[off+1])
+		off += 2 + n
+		if off > len(stream) {
+			t.Fatal("stream ends inside a frame body")
+		}
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func TestReceiveMidTransferDisconnect(t *testing.T) {
+	z := testZone(t, 200) // multi-message transfer
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(7)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	ends := frameBoundaries(t, full)
+	if len(ends) < 2 {
+		t.Fatalf("want a multi-message transfer, got %d frame(s)", len(ends))
+	}
+	// Disconnect cleanly after each complete frame except the last: records
+	// flowed, the closing SOA never arrived.
+	for _, end := range ends[:len(ends)-1] {
+		_, err := Receive(bytes.NewReader(full[:end]), 7)
+		if !errors.Is(err, ErrTruncatedTransfer) {
+			t.Errorf("disconnect after frame ending at %d: err = %v, want ErrTruncatedTransfer", end, err)
+		}
+	}
+}
+
+func TestReceiveTruncatedFrameClassified(t *testing.T) {
+	z := testZone(t, 200)
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(7)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	ends := frameBoundaries(t, full)
+	first := ends[0]
+	// Cut inside the second frame: both the frame- and transfer-level
+	// classifications must be visible through errors.Is.
+	for _, cut := range []int{first + 1, first + 2, first + 10, ends[1] - 1} {
+		_, err := Receive(bytes.NewReader(full[:cut]), 7)
+		if !errors.Is(err, ErrTruncatedTransfer) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncatedTransfer", cut, err)
+		}
+	}
+	// The same cuts at the raw message layer (starting at the second
+	// frame) classify as a truncated frame.
+	if _, err := ReadMessage(bytes.NewReader(full[first : first+1])); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("partial prefix: err = %v, want ErrTruncatedFrame", err)
+	}
+	if _, err := ReadMessage(bytes.NewReader(full[first : ends[1]-3])); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("short body: err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+func TestReadMessageOversizedPrefix(t *testing.T) {
+	// A peer advertises the maximum frame length and then hangs up after a
+	// few bytes. The reader must return a classified error promptly — not
+	// block, not panic, not hand garbage to the parser.
+	stream := append([]byte{0xff, 0xff}, bytes.Repeat([]byte{0x00}, 40)...)
+	_, err := ReadMessage(bytes.NewReader(stream))
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("err = %v, want ErrTruncatedFrame", err)
+	}
+	// Mid-transfer, the same condition classifies as a truncated transfer:
+	// deliver the first frame of a multi-frame transfer, then the bogus
+	// oversized prefix.
+	z := testZone(t, 200)
+	var buf bytes.Buffer
+	if err := Serve(&buf, z, axfrQuery(9)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	ends := frameBoundaries(t, full)
+	if len(ends) < 2 {
+		t.Fatal("want a multi-frame transfer")
+	}
+	evil := append(append([]byte(nil), full[:ends[0]]...), 0xff, 0xff, 1, 2, 3)
+	if _, err := Receive(bytes.NewReader(evil), 9); !errors.Is(err, ErrTruncatedTransfer) {
+		t.Fatalf("err = %v, want ErrTruncatedTransfer", err)
+	}
+}
+
+func TestReadMessageCleanEOFStaysEOF(t *testing.T) {
+	// Zero bytes at a frame boundary is the normal end of a pipelined
+	// stream; it must stay io.EOF so loops can terminate on it.
+	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}

@@ -36,6 +36,9 @@ type Config struct {
 	// Workers bounds the campaign worker pool (0 = one per CPU, 1 = serial).
 	// Reports are byte-identical across worker counts for the same seed.
 	Workers int
+	// ErrorBudget bounds supervisor-salvaged degraded outcomes before the
+	// campaign aborts: n >= 0 tolerates n, negative is unlimited.
+	ErrorBudget int
 }
 
 // DefaultConfig runs the full VP population on a heavily thinned schedule —
@@ -125,6 +128,7 @@ func (s *Study) Run() error {
 	mCfg.TLDCount = s.Cfg.TLDCount
 	mCfg.WireCheck = true
 	mCfg.Workers = s.Cfg.Workers
+	mCfg.ErrorBudget = s.Cfg.ErrorBudget
 	if !s.Cfg.Start.IsZero() {
 		mCfg.Start = s.Cfg.Start
 	}

@@ -1,22 +1,39 @@
 // Package dataset serializes campaign events to a compact, replayable log —
 // the counterpart of the paper's published measurement data (Appendix A),
-// which uses dictionary-based compression over the raw dig/mtr output. The
-// format interns repeated strings (site IDs, facilities, router names) in a
-// dictionary, varint-encodes the rest, and wraps everything in gzip. A
-// Writer doubles as a measure.Handler so a campaign can be recorded while
-// analyses run; a Reader replays the events into the same handlers later.
+// which uses dictionary-based compression over the raw dig/mtr output.
+//
+// Format (version 2, segmented): the file opens with a raw "RGDS" magic and
+// a varint version, followed by a sequence of sealed blocks. Each block is
+// framed as
+//
+//	[u32be compressed length][u32be CRC-32C of payload][u32be record count]
+//
+// followed by a DEFLATE-compressed payload of records. Records intern
+// repeated strings (site IDs, facilities, router names) in a dictionary that
+// resets at every block boundary, so each block is self-contained: a crash
+// can at worst tear the trailing block, which Reader detects (short frame,
+// CRC mismatch, or bad DEFLATE stream) and cleanly truncates instead of
+// erroring mid-stream. A Writer doubles as a measure.Handler so a campaign
+// can be recorded while analyses run; a Reader replays the events into the
+// same handlers later. Writers can also resume appending after the last
+// sealed block of an interrupted recording (see ResumeWriter), which is how
+// rootmeasure survives kill/restart cycles byte-identically.
 package dataset
 
 import (
 	"bufio"
-	"compress/gzip"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
 	"repro/internal/dnssec"
+	"repro/internal/failpoint"
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/measure"
@@ -26,9 +43,11 @@ import (
 )
 
 // magic identifies the format; version gates incompatible changes.
+// Version 2 introduced the sealed-block framing (length + CRC + per-block
+// dictionary) that makes recordings crash-recoverable.
 const (
 	magic   = "RGDS"
-	version = 1
+	version = 2
 )
 
 // record kinds.
@@ -48,41 +67,109 @@ const (
 	errOther
 )
 
-// Writer records campaign events.
+// DefaultBlockBytes is the uncompressed block size at which a Writer seals
+// automatically. Checkpoint boundaries also seal, so the value only bounds
+// memory (and crash loss) between checkpoints.
+const DefaultBlockBytes = 512 * 1024
+
+// frameHeaderLen is the fixed per-block frame: length, CRC, record count.
+const frameHeaderLen = 12
+
+// maxCompressedBlock bounds a frame length a Reader will believe; anything
+// larger is treated as a torn/corrupt tail rather than allocated.
+const maxCompressedBlock = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer records campaign events into sealed blocks.
 type Writer struct {
-	gz   *gzip.Writer
-	w    *bufio.Writer
+	out  io.Writer
+	buf  bytes.Buffer // current (unsealed) block's records
 	dict map[string]uint64
 	next uint64
 	err  error
+
+	// BlockBytes is the auto-seal threshold (uncompressed); 0 means
+	// DefaultBlockBytes. It must match between runs for byte-identical
+	// kill/resume recordings.
+	BlockBytes int
+
+	blockRecords uint32
+	sealed       int64 // bytes durably framed, header included
 
 	// Probes and Transfers count written events.
 	Probes, Transfers int
 }
 
-// NewWriter starts a dataset on out.
+// NewWriter starts a dataset on out, writing the file header immediately.
 func NewWriter(out io.Writer) (*Writer, error) {
-	gz := gzip.NewWriter(out)
-	w := bufio.NewWriter(gz)
-	if _, err := w.WriteString(magic); err != nil {
+	d := &Writer{out: out}
+	d.resetDict()
+	var hdr [len(magic) + binary.MaxVarintLen64]byte
+	n := copy(hdr[:], magic)
+	n += binary.PutUvarint(hdr[n:], version)
+	if _, err := out.Write(hdr[:n]); err != nil {
 		return nil, err
 	}
-	dw := &Writer{gz: gz, w: w, dict: make(map[string]uint64), next: 1}
-	dw.uvarint(version)
-	return dw, dw.err
+	d.sealed = int64(n)
+	return d, nil
+}
+
+// writerState is the opaque blob stored in campaign checkpoints.
+type writerState struct {
+	Offset    int64 `json:"offset"`
+	Probes    int   `json:"probes"`
+	Transfers int   `json:"transfers"`
+}
+
+// truncater is what ResumeWriter needs from its output to discard a torn
+// tail; *os.File satisfies it.
+type truncater interface {
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// ResumeWriter continues an interrupted recording: it truncates out to the
+// sealed offset recorded in state (a blob produced by CheckpointSeal),
+// positions writes at the new end, and restores the event counters. The
+// next block starts with a fresh dictionary, exactly as it would have in an
+// uninterrupted run, so the resumed file is byte-identical.
+func ResumeWriter(out io.Writer, state []byte) (*Writer, error) {
+	var st writerState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return nil, fmt.Errorf("dataset: bad resume state: %w", err)
+	}
+	if st.Offset < int64(len(magic))+1 {
+		return nil, fmt.Errorf("dataset: resume offset %d precedes header", st.Offset)
+	}
+	tr, ok := out.(truncater)
+	if !ok {
+		return nil, errors.New("dataset: resume target does not support truncation")
+	}
+	if err := tr.Truncate(st.Offset); err != nil {
+		return nil, fmt.Errorf("dataset: truncating torn tail: %w", err)
+	}
+	if _, err := tr.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	d := &Writer{out: out, sealed: st.Offset, Probes: st.Probes, Transfers: st.Transfers}
+	d.resetDict()
+	return d, nil
+}
+
+func (d *Writer) resetDict() {
+	d.dict = make(map[string]uint64)
+	d.next = 1
 }
 
 func (d *Writer) uvarint(v uint64) {
-	if d.err != nil {
-		return
-	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	_, d.err = d.w.Write(buf[:n])
+	d.buf.Write(buf[:n])
 }
 
 // intern writes a string reference: known strings cost one varint; new ones
-// are written once with their bytes.
+// are written once with their bytes. Scope is the current block.
 func (d *Writer) intern(s string) {
 	if id, ok := d.dict[s]; ok {
 		d.uvarint(id << 1)
@@ -91,13 +178,88 @@ func (d *Writer) intern(s string) {
 	d.dict[s] = d.next
 	d.next++
 	d.uvarint(uint64(len(s))<<1 | 1)
-	if d.err == nil {
-		_, d.err = d.w.WriteString(s)
+	d.buf.WriteString(s)
+}
+
+// Seal compresses and frames the current block, making every event handled
+// so far durable on the underlying writer. Sealing an empty block is a
+// no-op. After a seal the dictionary resets, so blocks stand alone.
+func (d *Writer) Seal() error {
+	if d.err != nil {
+		return d.err
 	}
+	if d.blockRecords == 0 {
+		return nil
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+	if err != nil {
+		d.err = err
+		return err
+	}
+	if _, err := fw.Write(d.buf.Bytes()); err != nil {
+		d.err = err
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		d.err = err
+		return err
+	}
+	frame := make([]byte, frameHeaderLen+comp.Len())
+	binary.BigEndian.PutUint32(frame[0:], uint32(comp.Len()))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(comp.Bytes(), crcTable))
+	binary.BigEndian.PutUint32(frame[8:], d.blockRecords)
+	copy(frame[frameHeaderLen:], comp.Bytes())
+	// Chaos site: simulate a crash that tears the frame mid-write. The
+	// partial bytes land on the underlying writer; d.err stays ErrKilled so
+	// no later write can extend the torn tail, and the recorded sealed
+	// offset still ends at the previous block.
+	if ferr := failpoint.Eval("dataset/seal/partial"); ferr != nil {
+		d.out.Write(frame[:frameHeaderLen+comp.Len()/2])
+		d.err = ferr
+		return ferr
+	}
+	if _, err := d.out.Write(frame); err != nil {
+		d.err = err
+		return err
+	}
+	d.sealed += int64(len(frame))
+	d.buf.Reset()
+	d.blockRecords = 0
+	d.resetDict()
+	return nil
+}
+
+// SealedBytes reports how many bytes of the output are covered by sealed
+// blocks (the crash-recoverable prefix).
+func (d *Writer) SealedBytes() int64 { return d.sealed }
+
+// CheckpointSeal implements the campaign's checkpoint protocol
+// (measure.Checkpointable): it seals the pending block, syncs the underlying
+// file when possible, and returns the writer's resume state for the
+// checkpoint sidecar. An injected dataset write error surfaces here before
+// any bytes move, so the campaign can count it against the error budget and
+// retry.
+func (d *Writer) CheckpointSeal() ([]byte, error) {
+	if err := failpoint.Eval("dataset/seal"); err != nil {
+		return nil, err
+	}
+	if err := d.Seal(); err != nil {
+		return nil, err
+	}
+	if s, ok := d.out.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(writerState{Offset: d.sealed, Probes: d.Probes, Transfers: d.Transfers})
 }
 
 // HandleProbe implements measure.Handler.
 func (d *Writer) HandleProbe(e measure.ProbeEvent) {
+	if d.err != nil {
+		return
+	}
 	d.uvarint(recProbe)
 	d.uvarint(uint64(e.Tick.Index))
 	d.uvarint(uint64(e.Tick.Time.Unix()))
@@ -113,9 +275,14 @@ func (d *Writer) HandleProbe(e measure.ProbeEvent) {
 	if e.SiteKind == 1 {
 		flags |= 4
 	}
+	if e.Degraded {
+		flags |= 8
+	}
 	d.uvarint(flags)
+	d.Probes++
+	d.blockRecords++
 	if e.Lost {
-		d.Probes++
+		d.maybeAutoSeal()
 		return
 	}
 	d.intern(e.SiteID)
@@ -128,11 +295,14 @@ func (d *Writer) HandleProbe(e measure.ProbeEvent) {
 		d.uvarint(uint64(asn))
 	}
 	d.intern(e.SecondToLast)
-	d.Probes++
+	d.maybeAutoSeal()
 }
 
 // HandleTransfer implements measure.Handler.
 func (d *Writer) HandleTransfer(e measure.TransferEvent) {
+	if d.err != nil {
+		return
+	}
 	d.uvarint(recTransfer)
 	d.uvarint(uint64(e.Tick.Index))
 	d.uvarint(uint64(e.Tick.Time.Unix()))
@@ -148,9 +318,14 @@ func (d *Writer) HandleTransfer(e measure.TransferEvent) {
 	if e.Bitflip != nil {
 		flags |= 4
 	}
+	if e.Degraded {
+		flags |= 8
+	}
 	d.uvarint(flags)
+	d.Transfers++
+	d.blockRecords++
 	if e.Lost {
-		d.Transfers++
+		d.maybeAutoSeal()
 		return
 	}
 	d.uvarint(uint64(e.Serial))
@@ -161,18 +336,28 @@ func (d *Writer) HandleTransfer(e measure.TransferEvent) {
 		d.intern(e.Bitflip.Before)
 		d.intern(e.Bitflip.After)
 	}
-	d.Transfers++
+	d.maybeAutoSeal()
 }
 
-// Close flushes the dataset.
-func (d *Writer) Close() error {
-	if d.err != nil {
-		return d.err
+// maybeAutoSeal seals when the pending block exceeds the size threshold.
+// Auto-seal points are a pure function of the record stream, so interrupted
+// and uninterrupted runs frame their blocks identically.
+func (d *Writer) maybeAutoSeal() {
+	limit := d.BlockBytes
+	if limit <= 0 {
+		limit = DefaultBlockBytes
 	}
-	if err := d.w.Flush(); err != nil {
+	if d.buf.Len() >= limit {
+		d.Seal() // a failed seal parks the error in d.err
+	}
+}
+
+// Close seals any pending block and flushes the dataset.
+func (d *Writer) Close() error {
+	if err := d.Seal(); err != nil {
 		return err
 	}
-	return d.gz.Close()
+	return d.err
 }
 
 func classifyErr(err error) int {
@@ -229,29 +414,32 @@ var targetsByKey = func() map[string]rss.ServiceAddr {
 	return m
 }()
 
-// Reader replays a dataset into handlers.
+// Reader replays a dataset into handlers, tolerating a torn trailing block.
 type Reader struct {
-	r    *bufio.Reader
-	gz   *gzip.Reader
+	raw  *bufio.Reader
+	blk  *bytes.Reader // decompressed current block
+	left uint32        // records remaining in the current block
 	dict []string
 	pop  *vantage.Population
 	// cities resolves metro codes back to geo.City.
 	cities map[string]geo.City
+
+	torn    bool
+	tornErr error
 }
 
 // NewReader opens a dataset. The population must be the one the recording
 // campaign used (the same world seed reproduces it).
 func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
-	gz, err := gzip.NewReader(in)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
-	r := bufio.NewReader(gz)
+	raw := bufio.NewReader(in)
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, head); err != nil || string(head) != magic {
+	if _, err := io.ReadFull(raw, head); err != nil || string(head) != magic {
+		if len(head) >= 2 && head[0] == 0x1f && head[1] == 0x8b {
+			return nil, errors.New("dataset: legacy v1 (gzip) format; re-record with this version")
+		}
 		return nil, errors.New("dataset: bad magic")
 	}
-	v, err := binary.ReadUvarint(r)
+	v, err := binary.ReadUvarint(raw)
 	if err != nil || v != version {
 		return nil, fmt.Errorf("dataset: unsupported version %d", v)
 	}
@@ -259,10 +447,59 @@ func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
 	for _, c := range geo.Cities() {
 		cities[c.IATA] = c
 	}
-	return &Reader{r: r, gz: gz, dict: []string{""}, pop: pop, cities: cities}, nil
+	return &Reader{raw: raw, dict: []string{""}, pop: pop, cities: cities}, nil
 }
 
-func (d *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(d.r) }
+// Torn reports whether the dataset ended in a torn (incomplete or corrupt)
+// trailing block, which Replay silently truncated at the last sealed
+// boundary — the expected state after a crash mid-recording.
+func (d *Reader) Torn() bool { return d.torn }
+
+// TornReason describes the detected tail corruption, nil when !Torn().
+func (d *Reader) TornReason() error { return d.tornErr }
+
+// nextBlock loads and verifies the next sealed block. It returns io.EOF at
+// a clean end of the dataset; a torn tail also returns io.EOF after setting
+// the torn flag.
+func (d *Reader) nextBlock() error {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(d.raw, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // clean end: file stops at a block boundary
+		}
+		return d.tear(fmt.Errorf("dataset: torn frame header: %w", err))
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	sum := binary.BigEndian.Uint32(hdr[4:])
+	count := binary.BigEndian.Uint32(hdr[8:])
+	if n == 0 || n > maxCompressedBlock {
+		return d.tear(fmt.Errorf("dataset: implausible block length %d", n))
+	}
+	comp := make([]byte, n)
+	if _, err := io.ReadFull(d.raw, comp); err != nil {
+		return d.tear(fmt.Errorf("dataset: torn block payload: %w", err))
+	}
+	if crc32.Checksum(comp, crcTable) != sum {
+		return d.tear(errors.New("dataset: block CRC mismatch"))
+	}
+	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		return d.tear(fmt.Errorf("dataset: corrupt block stream: %w", err))
+	}
+	d.blk = bytes.NewReader(payload)
+	d.left = count
+	d.dict = d.dict[:1] // dictionary is block-scoped
+	return nil
+}
+
+// tear records the torn tail and converts it into a clean end-of-stream.
+func (d *Reader) tear(reason error) error {
+	d.torn = true
+	d.tornErr = reason
+	return io.EOF
+}
+
+func (d *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(d.blk) }
 
 func (d *Reader) str() (string, error) {
 	v, err := d.uvarint()
@@ -277,7 +514,7 @@ func (d *Reader) str() (string, error) {
 		return d.dict[id], nil
 	}
 	buf := make([]byte, v>>1)
-	if _, err := io.ReadFull(d.r, buf); err != nil {
+	if _, err := io.ReadFull(d.blk, buf); err != nil {
 		return "", err
 	}
 	s := string(buf)
@@ -285,16 +522,30 @@ func (d *Reader) str() (string, error) {
 	return s, nil
 }
 
-// Replay streams every event into the handlers, returning the counts.
+// Replay streams every event into the handlers, returning the counts. A
+// torn trailing block (crash mid-write) is truncated, not an error; check
+// Torn() to distinguish a clean end from a recovered one.
 func (d *Reader) Replay(handlers ...measure.Handler) (probes, transfers int, err error) {
 	for {
+		if d.blk == nil || d.blk.Len() == 0 {
+			if d.blk != nil && d.left != 0 {
+				return probes, transfers, fmt.Errorf("dataset: block ended with %d records unread", d.left)
+			}
+			if err := d.nextBlock(); err != nil {
+				if errors.Is(err, io.EOF) {
+					return probes, transfers, nil
+				}
+				return probes, transfers, err
+			}
+		}
 		kind, err := d.uvarint()
-		if errors.Is(err, io.EOF) {
-			return probes, transfers, nil
-		}
 		if err != nil {
-			return probes, transfers, err
+			return probes, transfers, fmt.Errorf("dataset: record kind: %w", err)
 		}
+		if d.left == 0 {
+			return probes, transfers, errors.New("dataset: more records than block header declared")
+		}
+		d.left--
 		switch kind {
 		case recProbe:
 			e, err := d.readProbe()
@@ -359,8 +610,9 @@ func (d *Reader) readProbe() (measure.ProbeEvent, error) {
 	}
 	e := measure.ProbeEvent{
 		Tick: tick, VP: &d.pop.VPs[vpIdx], VPIdx: vpIdx, Target: target,
-		Lost:  flags&1 != 0,
-		STLOK: flags&2 != 0,
+		Lost:     flags&1 != 0,
+		STLOK:    flags&2 != 0,
+		Degraded: flags&8 != 0,
 	}
 	if flags&4 != 0 {
 		e.SiteKind = 1
@@ -417,6 +669,7 @@ func (d *Reader) readTransfer() (measure.TransferEvent, error) {
 		Tick: tick, VP: &d.pop.VPs[vpIdx], VPIdx: vpIdx, Target: target,
 		Lost:               flags&1 != 0,
 		ComparisonMismatch: flags&2 != 0,
+		Degraded:           flags&8 != 0,
 	}
 	if e.Lost {
 		return e, nil
@@ -454,5 +707,6 @@ func (d *Reader) readTransfer() (measure.TransferEvent, error) {
 	return e, nil
 }
 
-// Close releases the decompressor.
-func (d *Reader) Close() error { return d.gz.Close() }
+// Close releases the reader (nothing to release in the block format; kept
+// for API symmetry with Writer).
+func (d *Reader) Close() error { return nil }

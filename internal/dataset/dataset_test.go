@@ -3,8 +3,12 @@ package dataset
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -173,27 +177,287 @@ func TestCompressionEffective(t *testing.T) {
 	t.Logf("%d events in %d bytes (%.1f B/event)", events, buf.Len(), bytesPerEvent)
 }
 
+// synthPop is a lightweight population for framing-level tests that never
+// inspect VP fields.
+func synthPop() *vantage.Population {
+	return &vantage.Population{VPs: make([]vantage.VP, 8)}
+}
+
 func TestReaderRejectsGarbage(t *testing.T) {
-	w := testWorld(t)
-	if _, err := NewReader(bytes.NewReader([]byte("not a dataset")), w.Population); err == nil {
+	pop := synthPop()
+	if _, err := NewReader(bytes.NewReader([]byte("not a dataset")), pop); err == nil {
 		t.Error("garbage accepted")
 	}
-	// Valid gzip, wrong magic.
+	// A legacy v1 recording (single gzip stream) must be rejected with a
+	// recognizable message, not a generic magic failure.
 	var buf bytes.Buffer
-	gz := newGzip(&buf, t)
+	gz := gzip.NewWriter(&buf)
 	gz.Write([]byte("XXXX"))
 	gz.Close()
-	if _, err := NewReader(&buf, w.Population); err == nil {
-		t.Error("wrong magic accepted")
+	_, err := NewReader(&buf, pop)
+	if err == nil || !strings.Contains(err.Error(), "legacy v1") {
+		t.Errorf("legacy gzip: err = %v, want legacy-v1 rejection", err)
+	}
+	// Right magic, future version.
+	future := append([]byte(magic), 0x7f)
+	if _, err := NewReader(bytes.NewReader(future), pop); err == nil {
+		t.Error("future version accepted")
 	}
 }
 
-func newGzip(buf *bytes.Buffer, t *testing.T) interface {
-	Write([]byte) (int, error)
-	Close() error
-} {
+// synthProbe builds a deterministic probe event stream for framing tests.
+func synthProbe(i int) measure.ProbeEvent {
+	targets := rss.AllServiceAddrs()
+	return measure.ProbeEvent{
+		Tick:         measure.Tick{Index: i, Time: time.Unix(int64(1696118400+60*i), 0).UTC()},
+		VPIdx:        i % 8,
+		Target:       targets[i%len(targets)],
+		SiteID:       "site-" + string(rune('a'+i%7)),
+		Identifier:   "ns1.example",
+		Facility:     "fac-" + string(rune('a'+i%3)),
+		RTTms:        float64(i%120) + 0.25,
+		ASPath:       []int{64500, 64501 + i%4, 64510},
+		SecondToLast: "router-" + string(rune('a'+i%5)),
+		STLOK:        i%2 == 0,
+	}
+}
+
+// writeSynthFile records n synthetic probes with a small block size and
+// returns the raw bytes.
+func writeSynthFile(t *testing.T, n, blockBytes int) []byte {
 	t.Helper()
-	return gzip.NewWriter(buf)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BlockBytes = blockBytes
+	for i := 0; i < n; i++ {
+		w.HandleProbe(synthProbe(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// walkFrames parses the sealed-block framing, returning each frame's start
+// offset and record count. It fails the test on any inconsistency, so it
+// doubles as a structural check of the writer's output.
+func walkFrames(t *testing.T, data []byte) (starts []int, counts []uint32) {
+	t.Helper()
+	if string(data[:len(magic)]) != magic {
+		t.Fatal("bad magic in synthetic file")
+	}
+	v, n := binary.Uvarint(data[len(magic):])
+	if n <= 0 || v != version {
+		t.Fatalf("bad version varint (%d, %d)", v, n)
+	}
+	off := len(magic) + n
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			t.Fatalf("trailing %d bytes are not a frame", len(data)-off)
+		}
+		starts = append(starts, off)
+		clen := binary.BigEndian.Uint32(data[off:])
+		counts = append(counts, binary.BigEndian.Uint32(data[off+8:]))
+		off += frameHeaderLen + int(clen)
+	}
+	if off != len(data) {
+		t.Fatalf("frame walk overshot: %d != %d", off, len(data))
+	}
+	return starts, counts
+}
+
+// countingHandler tallies replayed events.
+type countingHandler struct{ probes, transfers int }
+
+func (c *countingHandler) HandleProbe(measure.ProbeEvent)       { c.probes++ }
+func (c *countingHandler) HandleTransfer(measure.TransferEvent) { c.transfers++ }
+
+// TestTornTailEveryOffset truncates a recording at every byte offset inside
+// its final block and asserts the Reader recovers exactly the sealed prefix:
+// no error, Torn() set, and precisely the records of the earlier blocks.
+func TestTornTailEveryOffset(t *testing.T) {
+	const events = 160
+	data := writeSynthFile(t, events, 1024)
+	starts, counts := walkFrames(t, data)
+	if len(starts) < 3 {
+		t.Fatalf("want >=3 blocks for a meaningful tail test, got %d", len(starts))
+	}
+	lastStart := starts[len(starts)-1]
+	sealedRecords := 0
+	for _, c := range counts[:len(counts)-1] {
+		sealedRecords += int(c)
+	}
+	pop := synthPop()
+
+	// The intact file replays everything, un-torn.
+	full := &countingHandler{}
+	r, err := NewReader(bytes.NewReader(data), pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Replay(full); err != nil || r.Torn() {
+		t.Fatalf("intact replay: err=%v torn=%v", err, r.Torn())
+	}
+	if full.probes != events {
+		t.Fatalf("intact replay saw %d/%d probes", full.probes, events)
+	}
+
+	// Truncation exactly at the last sealed boundary is a clean end.
+	r, err = NewReader(bytes.NewReader(data[:lastStart]), pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &countingHandler{}
+	if _, _, err := r.Replay(h); err != nil {
+		t.Fatal(err)
+	}
+	if r.Torn() || h.probes != sealedRecords {
+		t.Fatalf("boundary truncation: torn=%v probes=%d want %d", r.Torn(), h.probes, sealedRecords)
+	}
+
+	// Every cut inside the final block must recover the sealed prefix.
+	for cut := lastStart + 1; cut < len(data); cut++ {
+		r, err := NewReader(bytes.NewReader(data[:cut]), pop)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		h := &countingHandler{}
+		probes, _, err := r.Replay(h)
+		if err != nil {
+			t.Fatalf("cut %d: replay error %v (torn tails must truncate cleanly)", cut, err)
+		}
+		if !r.Torn() {
+			t.Fatalf("cut %d: torn tail not flagged", cut)
+		}
+		if r.TornReason() == nil {
+			t.Fatalf("cut %d: no torn reason", cut)
+		}
+		if probes != sealedRecords || h.probes != sealedRecords {
+			t.Fatalf("cut %d: recovered %d records, want sealed prefix %d", cut, probes, sealedRecords)
+		}
+	}
+}
+
+// TestCorruptBlockTruncates flips one payload byte of the final block: the
+// CRC catches it and the Reader truncates to the sealed prefix.
+func TestCorruptBlockTruncates(t *testing.T) {
+	data := writeSynthFile(t, 160, 1024)
+	starts, counts := walkFrames(t, data)
+	lastStart := starts[len(starts)-1]
+	sealedRecords := 0
+	for _, c := range counts[:len(counts)-1] {
+		sealedRecords += int(c)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[lastStart+frameHeaderLen+3] ^= 0x40
+
+	r, err := NewReader(bytes.NewReader(corrupt), synthPop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &countingHandler{}
+	probes, _, err := r.Replay(h)
+	if err != nil {
+		t.Fatalf("corrupt tail must truncate, got error %v", err)
+	}
+	if !r.Torn() || !strings.Contains(r.TornReason().Error(), "CRC") {
+		t.Fatalf("torn=%v reason=%v, want CRC mismatch", r.Torn(), r.TornReason())
+	}
+	if probes != sealedRecords {
+		t.Fatalf("recovered %d records, want %d", probes, sealedRecords)
+	}
+}
+
+// TestResumeWriterByteIdentical interrupts a recording after a checkpoint
+// seal — leaving both a sealed-but-uncheckpointed block and torn garbage on
+// disk — resumes from the checkpoint state, and demands the final file be
+// byte-identical to an uninterrupted recording with the same seal cadence.
+func TestResumeWriterByteIdentical(t *testing.T) {
+	const blockBytes = 1024
+
+	// Reference: uninterrupted, one checkpoint seal after 100 events.
+	var ref bytes.Buffer
+	w, err := NewWriter(&ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BlockBytes = blockBytes
+	for i := 0; i < 100; i++ {
+		w.HandleProbe(synthProbe(i))
+	}
+	refState, err := w.CheckpointSeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 200; i++ {
+		w.HandleProbe(synthProbe(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: same 100 events, checkpoint, then 50 more events
+	// sealed *after* the checkpoint, then a torn partial write, then crash.
+	path := filepath.Join(t.TempDir(), "interrupted.dat")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.BlockBytes = blockBytes
+	for i := 0; i < 100; i++ {
+		w2.HandleProbe(synthProbe(i))
+	}
+	state, err := w2.CheckpointSeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, refState) {
+		t.Fatalf("checkpoint states diverge: %s vs %s", state, refState)
+	}
+	for i := 100; i < 150; i++ {
+		w2.HandleProbe(synthProbe(i))
+	}
+	if err := w2.Seal(); err != nil { // durable but not checkpointed
+		t.Fatal(err)
+	}
+	f.Write([]byte("partial frame torn by the crash"))
+	f.Close() // no Writer.Close: the process died
+
+	// Restart: resume from the checkpoint blob and replay the tail events.
+	f2, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := ResumeWriter(f2, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3.BlockBytes = blockBytes
+	if w3.Probes != 100 || w3.Transfers != 0 {
+		t.Fatalf("resumed counters %d/%d", w3.Probes, w3.Transfers)
+	}
+	for i := 100; i < 200; i++ {
+		w3.HandleProbe(synthProbe(i))
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("resumed file differs from uninterrupted reference: %d vs %d bytes", len(got), ref.Len())
+	}
 }
 
 func TestTargetKeyBijective(t *testing.T) {

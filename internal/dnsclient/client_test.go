@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/axfr"
 	"repro/internal/dnswire"
+	"repro/internal/zone"
 )
 
 // silentUDP returns a UDP listener that swallows everything.
@@ -116,6 +118,99 @@ func TestChaosAgainstDeadServer(t *testing.T) {
 	c.Timeout = 100 * time.Millisecond
 	if _, err := c.QueryChaosTXT(dnswire.MustName("hostname.bind.")); err == nil {
 		t.Error("chaos query against silent server succeeded")
+	}
+}
+
+func TestSeededIDsReproducible(t *testing.T) {
+	ids := func(seed int64) []uint16 {
+		c := NewSeeded("192.0.2.1:53", seed)
+		out := make([]uint16, 16)
+		for i := range out {
+			out[i] = c.nextID()
+		}
+		return out
+	}
+	a, b := ids(42), ids(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at ID %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := ids(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical ID sequence")
+	}
+}
+
+func TestTransferZoneMidStreamDisconnect(t *testing.T) {
+	// A server that sends the opening frame of a transfer and then drops
+	// the connection: the client must return the classified truncation
+	// error promptly, not hang or deliver a partial zone.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		q, err := axfr.ReadMessage(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		z := zone.SynthesizeRoot(zone.DefaultRootConfig())
+		msgs, err := axfr.ResponseMessages(z, q.Header.ID, q.Questions[0])
+		if err != nil || len(msgs) < 2 {
+			conn.Close()
+			return
+		}
+		_ = axfr.WriteMessage(conn, msgs[0]) // opening SOA + records, no close bracket
+		conn.Close()
+	}()
+	c := NewSeeded(ln.Addr().String(), 7)
+	c.Timeout = 2 * time.Second
+	start := time.Now()
+	_, err = c.TransferZone()
+	if !errors.Is(err, axfr.ErrTruncatedTransfer) {
+		t.Fatalf("err = %v, want axfr.ErrTruncatedTransfer", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("disconnect detection hung")
+	}
+}
+
+func TestExchangeTCPOversizedPrefix(t *testing.T) {
+	// A TCP responder that advertises a 65535-byte frame and hangs up: the
+	// client must surface the truncated-frame classification.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := axfr.ReadMessage(conn); err == nil {
+			conn.Write([]byte{0xff, 0xff, 1, 2, 3})
+		}
+		conn.Close()
+	}()
+	c := NewSeeded(ln.Addr().String(), 7)
+	c.Timeout = 2 * time.Second
+	_, err = c.ExchangeTCP(dnswire.NewQuery(c.nextID(), dnswire.Root, dnswire.TypeSOA))
+	if !errors.Is(err, axfr.ErrTruncatedFrame) {
+		t.Fatalf("err = %v, want axfr.ErrTruncatedFrame", err)
 	}
 }
 

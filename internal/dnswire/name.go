@@ -18,6 +18,7 @@ const Root Name = "."
 var (
 	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
 	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrBadLabel     = errors.New("dnswire: label contains '.' (escapes unsupported)")
 	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
 	ErrTruncated    = errors.New("dnswire: message truncated")
 )
@@ -311,6 +312,15 @@ func decodeNameCached(msg []byte, off int, cache nameCache) (Name, int, error) {
 			}
 			if off+1+l > len(msg) {
 				return "", 0, ErrTruncated
+			}
+			// Name is presentation form without escape support, so a label
+			// containing a literal '.' octet cannot round-trip: re-encoding
+			// would split it into empty labels (a premature terminator).
+			// Reject it here rather than emit a name that repacks wrong.
+			for _, c := range msg[off+1 : off+1+l] {
+				if c == '.' {
+					return "", 0, ErrBadLabel
+				}
 			}
 			sb.Write(msg[off+1 : off+1+l])
 			sb.WriteByte('.')

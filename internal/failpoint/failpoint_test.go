@@ -1,0 +1,86 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("active with no plan")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Eval("any/site"); err != nil {
+			t.Fatalf("disabled Eval returned %v", err)
+		}
+	}
+}
+
+func TestErrorFiresAtNthHitOnce(t *testing.T) {
+	defer Disable()
+	if err := Enable("a/b=error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		err := Eval("a/b")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+	if err := Eval("other/site"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestKillAction(t *testing.T) {
+	defer Disable()
+	if err := Enable("x=kill"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("x"); !errors.Is(err, ErrKilled) {
+		t.Fatalf("err = %v, want ErrKilled", err)
+	}
+	if err := Eval("x"); err != nil {
+		t.Fatal("kill site fired twice")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Disable()
+	if err := Enable("p=panic@1, q=error@2"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if fp, ok := r.(Panic); !ok || fp.Site != "p" {
+				t.Fatalf("recovered %v, want failpoint.Panic{p}", r)
+			}
+		}()
+		Eval("p")
+		t.Fatal("panic site did not panic")
+	}()
+	// The second spec entry is independently armed.
+	if err := Eval("q"); err != nil {
+		t.Fatal("q fired early")
+	}
+	if err := Eval("q"); !errors.Is(err, ErrInjected) {
+		t.Fatal("q did not fire at hit 2")
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	defer Disable()
+	for _, spec := range []string{"noequals", "a=explode", "a=error@0", "a=error@x", "=error"} {
+		if err := Enable(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

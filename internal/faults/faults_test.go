@@ -116,6 +116,40 @@ func TestLossModel(t *testing.T) {
 	}
 }
 
+// TestLossModelAllocationFree pins the hot-path property: deciding a loss
+// must not allocate (the former implementation built a rand.Rand per call,
+// ~5 allocations on every probe of every tick).
+func TestLossModelAllocationFree(t *testing.T) {
+	l := LossModel{Prob: 0.3, Seed: 9}
+	sink := false
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = l.Lost(3, 11, 250, 7) || sink
+	})
+	if allocs != 0 {
+		t.Errorf("Lost allocates %.1f objects per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestLossModelSeedSensitivity: different seeds must decorrelate the loss
+// pattern, and the same coordinates under one seed are stable.
+func TestLossModelSeedSensitivity(t *testing.T) {
+	a := LossModel{Prob: 0.5, Seed: 1}
+	b := LossModel{Prob: 0.5, Seed: 2}
+	agree := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if a.Lost(i, i%28, i%100, 0) == b.Lost(i, i%28, i%100, 0) {
+			agree++
+		}
+	}
+	// Independent fair coins agree ~50%; near-total agreement means the
+	// seed is being ignored.
+	if agree > n*3/5 || agree < n*2/5 {
+		t.Errorf("seeds agree on %d/%d decisions; expected ~half", agree, n)
+	}
+}
+
 func TestStaleSitePlan(t *testing.T) {
 	p := StaleSitePlan{
 		Letter:         "d",

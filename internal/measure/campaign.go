@@ -30,6 +30,10 @@ type ProbeEvent struct {
 	// Lost marks a probe whose queries all timed out (no route or packet
 	// loss under dig +retry=0).
 	Lost bool
+	// Degraded marks a probe the supervisor salvaged after a worker fault
+	// (recovered panic or injected error): the outcome is recorded as lost
+	// and counted against Config.ErrorBudget instead of killing the pool.
+	Degraded bool
 	// Site fields are valid when !Lost.
 	SiteID     string
 	Identifier string
@@ -53,7 +57,10 @@ type TransferEvent struct {
 	VPIdx  int
 	Target rss.ServiceAddr
 	Lost   bool
-	Serial uint32
+	// Degraded marks a transfer outcome salvaged by the worker supervisor;
+	// see ProbeEvent.Degraded.
+	Degraded bool
+	Serial   uint32
 	// Fault is the injected fault class behind a failed validation (None
 	// for clean transfers).
 	Fault faults.Kind
@@ -196,6 +203,27 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs fully serial. The same seed produces
 	// byte-identical reports at any worker count.
 	Workers int
+	// CheckpointPath, when non-empty, enables crash-safe progress
+	// checkpoints: at every CheckpointEvery-tick boundary the campaign
+	// seals its checkpointable handlers (making their output durable) and
+	// atomically replaces the checkpoint file, so a killed run can resume
+	// byte-identically.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in ticks (0 = 32). It is
+	// part of the determinism contract: interrupted and uninterrupted runs
+	// must use the same cadence, because checkpoint boundaries also seal
+	// dataset blocks.
+	CheckpointEvery int
+	// Resume fast-forwards the campaign from the checkpoint at
+	// CheckpointPath instead of starting at the first tick. The checkpoint
+	// must come from an identically configured campaign (worker count and
+	// error budget may differ).
+	Resume bool
+	// ErrorBudget bounds degraded outcomes (recovered worker panics,
+	// per-probe errors, retried dataset write errors) before the campaign
+	// aborts with a summarized error: n >= 0 tolerates n outcomes,
+	// negative is unlimited.
+	ErrorBudget int
 }
 
 // DefaultConfig is a harness-scale campaign: the full VP population and
@@ -278,6 +306,9 @@ type Campaign struct {
 	// Config.WireCheck is enabled.
 	WireQueries  int
 	WireFailures []string
+
+	// deg tracks supervisor-salvaged outcomes against Config.ErrorBudget.
+	deg degradedState
 }
 
 type zoneKey struct {

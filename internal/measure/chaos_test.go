@@ -1,0 +1,402 @@
+package measure_test
+
+// Chaos harness for the crash-safety layer: kill the campaign at named
+// failpoints, restart it from its checkpoint, and demand the recorded
+// dataset come out byte-identical to an uninterrupted run — at serial and
+// parallel worker counts. Also pins the worker-supervision semantics:
+// panics and injected errors degrade (classified, counted) within the
+// error budget and abort past it.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/failpoint"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/topology"
+	"repro/internal/vantage"
+)
+
+// chaosWorld builds a small world (shared across subtests; read-only).
+func chaosWorld(t *testing.T) *measure.World {
+	t.Helper()
+	cfg := chaosConfig()
+	topoCfg := topology.Config{
+		Seed: 2,
+		StubsPerRegion: map[geo.Region]int{
+			geo.Africa: 2, geo.Asia: 4, geo.Europe: 10,
+			geo.NorthAmerica: 6, geo.SouthAmerica: 3, geo.Oceania: 3,
+		},
+		Tier2PerRegion: map[geo.Region]int{
+			geo.Africa: 2, geo.Asia: 2, geo.Europe: 3,
+			geo.NorthAmerica: 2, geo.SouthAmerica: 2, geo.Oceania: 2,
+		},
+	}
+	vpCfg := vantage.DefaultConfig()
+	vpCfg.Scale = 12
+	w, err := measure.NewWorld(cfg, topoCfg, vpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// chaosConfig is the shared campaign shape: a fast-cadence window with
+// transfers active, wire checks on, checkpointing every 3 ticks.
+func chaosConfig() measure.Config {
+	cfg := measure.DefaultConfig()
+	cfg.Start = time.Date(2023, 9, 26, 9, 0, 0, 0, time.UTC)
+	cfg.End = cfg.Start.Add(2 * time.Hour)
+	cfg.Scale = 1
+	cfg.TLDCount = 12
+	cfg.WireCheck = true
+	cfg.CheckpointEvery = 3
+	return cfg
+}
+
+// runToFile executes a fresh campaign recording into path, returning the
+// campaign (for accumulator assertions) and the run error.
+func runToFile(t *testing.T, w *measure.World, cfg measure.Config, dataPath string) (*measure.Campaign, error) {
+	t.Helper()
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wr, err := dataset.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := measure.NewCampaign(cfg, w)
+	runErr := c.Run(wr)
+	if runErr == nil {
+		if err := wr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// On a simulated kill the writer is abandoned un-closed, as SIGKILL
+	// would leave it.
+	return c, runErr
+}
+
+// resumeFromCheckpoint restarts a killed recording: load the checkpoint,
+// resume the dataset writer at its sealed offset, and run a fresh campaign
+// with Resume set.
+func resumeFromCheckpoint(t *testing.T, w *measure.World, cfg measure.Config, dataPath string) *measure.Campaign {
+	t.Helper()
+	cp, err := measure.LoadCheckpoint(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TickPos == 0 {
+		t.Fatal("checkpoint never advanced; kill site fired before first checkpoint")
+	}
+	st, err := cp.HandlerState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(dataPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wr, err := dataset.ResumeWriter(f, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	c := measure.NewCampaign(cfg, w)
+	if err := c.Run(wr); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestChaosKillResumeMatrix is the acceptance matrix: three distinct kill
+// sites × worker counts {1, 4}, each killed mid-campaign, restarted from
+// the checkpoint, and compared byte-for-byte against an uninterrupted
+// reference recording with the same checkpoint cadence.
+func TestChaosKillResumeMatrix(t *testing.T) {
+	w := chaosWorld(t)
+	dir := t.TempDir()
+
+	// Uninterrupted reference (checkpointing on: seal boundaries are part
+	// of the byte stream).
+	refCfg := chaosConfig()
+	refCfg.Workers = 1
+	refCfg.CheckpointPath = filepath.Join(dir, "ref.ckpt")
+	refData := filepath.Join(dir, "ref.dat")
+	refCampaign, err := runToFile(t, w, refCfg, refData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kills := []struct{ name, spec string }{
+		// SIGKILL at a tick boundary, after two checkpoints have landed.
+		{"tick", "campaign/tick=kill@5"},
+		// SIGKILL after the dataset seal but before the checkpoint write:
+		// resume must discard the sealed-but-uncheckpointed block.
+		{"checkpoint", "campaign/checkpoint=kill@2"},
+		// SIGKILL mid-frame: the dataset gains a torn tail that resume
+		// truncates.
+		{"seal-partial", "dataset/seal/partial=kill@2"},
+	}
+	for _, workers := range []int{1, 4} {
+		for _, kill := range kills {
+			t.Run(kill.name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				cfg := chaosConfig()
+				cfg.Workers = workers
+				base := strings.ReplaceAll(t.Name(), "/", "_")
+				cfg.CheckpointPath = filepath.Join(dir, base+".ckpt")
+				dataPath := filepath.Join(dir, base+".dat")
+				if err := failpoint.Enable(kill.spec); err != nil {
+					t.Fatal(err)
+				}
+				_, runErr := runToFile(t, w, cfg, dataPath)
+				failpoint.Disable()
+				if !errors.Is(runErr, failpoint.ErrKilled) {
+					t.Fatalf("run error = %v, want ErrKilled", runErr)
+				}
+				killed, err := os.ReadFile(dataPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(killed, refBytes) {
+					t.Fatal("kill left a complete dataset; failpoint did not interrupt")
+				}
+				resumed := resumeFromCheckpoint(t, w, cfg, dataPath)
+				got, err := os.ReadFile(dataPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, refBytes) {
+					t.Errorf("resumed dataset differs from reference: %d vs %d bytes", len(got), len(refBytes))
+				}
+				if resumed.WireQueries != refCampaign.WireQueries {
+					t.Errorf("wire accumulator after resume = %d, want %d", resumed.WireQueries, refCampaign.WireQueries)
+				}
+			})
+		}
+	}
+}
+
+// TestSealErrorRetriedWithinBudget injects a one-shot dataset write error at
+// the checkpoint seal: the campaign must count it, retry, complete, and
+// still produce the reference bytes.
+func TestSealErrorRetriedWithinBudget(t *testing.T) {
+	w := chaosWorld(t)
+	dir := t.TempDir()
+
+	refCfg := chaosConfig()
+	refCfg.CheckpointPath = filepath.Join(dir, "ref.ckpt")
+	refData := filepath.Join(dir, "ref.dat")
+	if _, err := runToFile(t, w, refCfg, refData); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, _ := os.ReadFile(refData)
+
+	cfg := chaosConfig()
+	cfg.CheckpointPath = filepath.Join(dir, "chaos.ckpt")
+	cfg.ErrorBudget = 1
+	dataPath := filepath.Join(dir, "chaos.dat")
+	if err := failpoint.Enable("dataset/seal=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	c, err := runToFile(t, w, cfg, dataPath)
+	if err != nil {
+		t.Fatalf("within-budget seal error aborted the run: %v", err)
+	}
+	if stats := c.Degraded(); stats.WriteErrors != 1 || stats.Total() != 1 {
+		t.Errorf("degraded stats = %+v, want exactly one write error", stats)
+	}
+	got, _ := os.ReadFile(dataPath)
+	if !bytes.Equal(got, refBytes) {
+		t.Error("retried seal produced different bytes")
+	}
+}
+
+// TestSealErrorExceedsBudget: with a zero budget the same injected error
+// aborts with the summarized budget error.
+func TestSealErrorExceedsBudget(t *testing.T) {
+	w := chaosWorld(t)
+	dir := t.TempDir()
+	cfg := chaosConfig()
+	cfg.CheckpointPath = filepath.Join(dir, "chaos.ckpt")
+	cfg.ErrorBudget = 0
+	if err := failpoint.Enable("dataset/seal=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	_, err := runToFile(t, w, cfg, filepath.Join(dir, "chaos.dat"))
+	if err == nil || !strings.Contains(err.Error(), "error budget exceeded") {
+		t.Fatalf("run error = %v, want summarized budget abort", err)
+	}
+}
+
+// collectorT mirrors the internal test collector for the external package.
+type collectorT struct {
+	probes    []measure.ProbeEvent
+	transfers []measure.TransferEvent
+}
+
+func (c *collectorT) HandleProbe(e measure.ProbeEvent)       { c.probes = append(c.probes, e) }
+func (c *collectorT) HandleTransfer(e measure.TransferEvent) { c.transfers = append(c.transfers, e) }
+
+// TestWorkerPanicDegradesWithinBudget: an injected worker panic is recovered
+// and surfaces as exactly one classified Lost+Degraded probe (and its
+// transfer), with the campaign completing normally.
+func TestWorkerPanicDegradesWithinBudget(t *testing.T) {
+	w := chaosWorld(t)
+	cfg := chaosConfig()
+	cfg.WireCheck = false
+	cfg.Workers = 4
+	cfg.ErrorBudget = -1
+	if err := failpoint.Enable("measure/worker/probe=panic@17"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	c := measure.NewCampaign(cfg, w)
+	col := &collectorT{}
+	if err := c.Run(col); err != nil {
+		t.Fatalf("panic within unlimited budget aborted: %v", err)
+	}
+	stats := c.Degraded()
+	if stats.ProbePanics != 1 || stats.Total() != 1 {
+		t.Fatalf("degraded stats = %+v, want one recovered probe panic", stats)
+	}
+	if len(stats.Samples) != 1 || !strings.Contains(stats.Samples[0], "probe panic") {
+		t.Fatalf("samples = %v", stats.Samples)
+	}
+	degProbes := 0
+	for _, p := range col.probes {
+		if p.Degraded {
+			degProbes++
+			if !p.Lost {
+				t.Error("degraded probe not marked lost")
+			}
+		}
+	}
+	if degProbes != 1 {
+		t.Fatalf("degraded probes = %d, want 1", degProbes)
+	}
+	degTransfers := 0
+	for _, tr := range col.transfers {
+		if tr.Degraded {
+			degTransfers++
+			if !tr.Lost {
+				t.Error("degraded transfer not marked lost")
+			}
+		}
+	}
+	if degTransfers != 1 {
+		t.Fatalf("degraded transfers = %d, want 1 (probe-stage fault spoils the pair)", degTransfers)
+	}
+}
+
+// TestWorkerTransferErrorKeepsProbe: a transfer-stage injected error
+// degrades only the transfer; the probe half of the pair survives intact.
+func TestWorkerTransferErrorKeepsProbe(t *testing.T) {
+	w := chaosWorld(t)
+	cfg := chaosConfig()
+	cfg.WireCheck = false
+	cfg.ErrorBudget = 2
+	if err := failpoint.Enable("measure/worker/transfer=error@9"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	c := measure.NewCampaign(cfg, w)
+	col := &collectorT{}
+	if err := c.Run(col); err != nil {
+		t.Fatal(err)
+	}
+	if stats := c.Degraded(); stats.TransferErrors != 1 || stats.Total() != 1 {
+		t.Fatalf("degraded stats = %+v", stats)
+	}
+	for _, p := range col.probes {
+		if p.Degraded {
+			t.Fatal("transfer-stage error degraded a probe")
+		}
+	}
+	deg := 0
+	for _, tr := range col.transfers {
+		if tr.Degraded {
+			deg++
+		}
+	}
+	if deg != 1 {
+		t.Fatalf("degraded transfers = %d, want 1", deg)
+	}
+}
+
+// TestWorkerErrorExceedsBudget: with budget 0, the first degraded outcome
+// aborts the campaign with the summarized classification.
+func TestWorkerErrorExceedsBudget(t *testing.T) {
+	w := chaosWorld(t)
+	cfg := chaosConfig()
+	cfg.WireCheck = false
+	cfg.ErrorBudget = 0
+	if err := failpoint.Enable("measure/worker/probe=error@3"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	err := measure.NewCampaign(cfg, w).Run(&collectorT{})
+	if err == nil || !strings.Contains(err.Error(), "error budget exceeded") {
+		t.Fatalf("run error = %v, want budget abort", err)
+	}
+	if !strings.Contains(err.Error(), "1 probe errors") {
+		t.Fatalf("abort not classified: %v", err)
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a checkpoint from one campaign must not
+// seed a differently configured one.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	w := chaosWorld(t)
+	dir := t.TempDir()
+	cfg := chaosConfig()
+	cfg.WireCheck = false
+	cfg.CheckpointPath = filepath.Join(dir, "a.ckpt")
+	if _, err := runToFile(t, w, cfg, filepath.Join(dir, "a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Resume = true
+	bad.Seed++
+	err := measure.NewCampaign(bad, w).Run(&collectorT{})
+	if err == nil || !strings.Contains(err.Error(), "differently configured") {
+		t.Fatalf("mismatched resume error = %v", err)
+	}
+	// Worker count is allowed to change across a resume.
+	ok := cfg
+	ok.Resume = true
+	ok.Workers = 4
+	if err := measure.NewCampaign(ok, w).Run(&collectorT{}); err != nil {
+		t.Fatalf("worker-count change rejected on resume: %v", err)
+	}
+}
+
+// TestResumeRequiresCheckpointPath pins the config validation.
+func TestResumeRequiresCheckpointPath(t *testing.T) {
+	w := chaosWorld(t)
+	cfg := chaosConfig()
+	cfg.Resume = true
+	err := measure.NewCampaign(cfg, w).Run(&collectorT{})
+	if err == nil || !strings.Contains(err.Error(), "CheckpointPath") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,11 +1,16 @@
 package measure
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/rss"
+	"repro/internal/vantage"
 )
 
 // The parallel campaign engine shards each tick's VP loop across a bounded
@@ -16,6 +21,15 @@ import (
 // target index, probe before transfer). Analyses therefore never see
 // concurrency, need no merge step, and the same seed produces byte-identical
 // reports at any worker count.
+//
+// Each worker is supervised: a panic or injected fault while computing one
+// (tick, VP, target) pair is recovered in place and replaced with a
+// classified degraded outcome (Lost+Degraded events) counted against
+// Config.ErrorBudget, so a single bad pair can never tear down a
+// long-horizon campaign. Named failpoint sites ("campaign/tick",
+// "campaign/checkpoint", "dataset/seal", "measure/worker/probe",
+// "measure/worker/transfer") let the chaos harness drive kills, panics, and
+// errors through the exact production paths.
 
 // eventPair carries one target's probe (and, after AXFRStart, transfer)
 // from a worker to the ordered drain.
@@ -43,6 +57,12 @@ func (c *Campaign) workerCount() int {
 // Run walks the schedule, emitting events to the handlers. The tick×VP×target
 // loop is sharded across Config.Workers goroutines; handlers receive events
 // in deterministic serial order regardless of the worker count.
+//
+// With Config.CheckpointPath set, Run seals checkpointable handlers and
+// writes a progress checkpoint every CheckpointEvery ticks; with
+// Config.Resume it fast-forwards to the checkpointed tick first. A run
+// killed at any point and restarted with Resume produces byte-identical
+// handler output to an uninterrupted run with the same checkpoint settings.
 func (c *Campaign) Run(handlers ...Handler) error {
 	ticks := Ticks(c.Cfg.Start, c.Cfg.End, c.Cfg.Scale)
 	targets := rss.AllServiceAddrs()
@@ -51,8 +71,30 @@ func (c *Campaign) Run(handlers ...Handler) error {
 	if workers > nVPs {
 		workers = nVPs
 	}
+	every := c.Cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	ckptOn := c.Cfg.CheckpointPath != ""
+	startPos := 0
+	if c.Cfg.Resume {
+		if !ckptOn {
+			return errors.New("measure: Config.Resume requires Config.CheckpointPath")
+		}
+		pos, err := c.loadResume(len(ticks))
+		if err != nil {
+			return err
+		}
+		startPos = pos
+	}
 	shards := make([]vpShard, nVPs)
-	for _, tick := range ticks {
+	for ti := startPos; ti < len(ticks); ti++ {
+		// Chaos kill-point at the tick boundary: a kill here simulates
+		// SIGKILL before any of this tick's work, the cleanest crash window.
+		if err := failpoint.Eval("campaign/tick"); err != nil {
+			return err
+		}
+		tick := ticks[ti]
 		if c.Cfg.WireCheck {
 			if err := c.runWireCheck(tick); err != nil {
 				return err
@@ -92,6 +134,16 @@ func (c *Campaign) Run(handlers ...Handler) error {
 				}
 			}
 		}
+		// The tick is fully drained before the budget verdict, so an abort
+		// never leaves a handler with a partial tick.
+		if err := c.budgetAbort(); err != nil {
+			return err
+		}
+		if ckptOn && ((ti+1)%every == 0 || ti == len(ticks)-1) {
+			if err := c.saveCheckpoint(handlers, ti+1, len(ticks)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -103,12 +155,58 @@ func (c *Campaign) collectVP(tick Tick, vpIdx int, targets []rss.ServiceAddr, ou
 	vp := &c.World.Population.VPs[vpIdx]
 	axfr := !tick.Time.Before(AXFRStart)
 	for tIdx, target := range targets {
-		pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
-		pair := eventPair{probe: pe}
+		out.pairs = append(out.pairs, c.collectPair(tick, vp, vpIdx, tIdx, target, axfr))
+	}
+}
+
+// collectPair computes one (tick, VP, target) pair under supervision. A
+// panic in either stage is recovered and classified; an injected failpoint
+// error is converted in place. Both yield Lost+Degraded events for the
+// stages they spoiled (a transfer-stage fault keeps the good probe) and
+// count against the error budget.
+func (c *Campaign) collectPair(tick Tick, vp *vantage.VP, vpIdx, tIdx int, target rss.ServiceAddr, axfr bool) (pair eventPair) {
+	stage := "probe"
+	defer func() {
+		if r := recover(); r != nil {
+			kind := degProbePanic
+			if stage == "transfer" {
+				kind = degTransferPanic
+			}
+			c.noteDegraded(kind, fmt.Sprintf("recovered %s panic at %s vp=%d target=%d: %v",
+				stage, tick.Time.Format(time.RFC3339), vpIdx, tIdx, r))
+			if stage == "probe" {
+				pair.probe = degradedProbe(tick, vp, vpIdx, target)
+			}
+			if axfr {
+				pair.transfer = degradedTransfer(tick, vp, vpIdx, target)
+				pair.hasTransfer = true
+			}
+		}
+	}()
+	if err := failpoint.Eval("measure/worker/probe"); err != nil {
+		c.noteDegraded(degProbeError, fmt.Sprintf("probe error at %s vp=%d target=%d: %v",
+			tick.Time.Format(time.RFC3339), vpIdx, tIdx, err))
+		pair.probe = degradedProbe(tick, vp, vpIdx, target)
 		if axfr {
-			pair.transfer = c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
+			pair.transfer = degradedTransfer(tick, vp, vpIdx, target)
 			pair.hasTransfer = true
 		}
-		out.pairs = append(out.pairs, pair)
+		return pair
 	}
+	pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
+	pair.probe = pe
+	if !axfr {
+		return pair
+	}
+	stage = "transfer"
+	if err := failpoint.Eval("measure/worker/transfer"); err != nil {
+		c.noteDegraded(degTransferError, fmt.Sprintf("transfer error at %s vp=%d target=%d: %v",
+			tick.Time.Format(time.RFC3339), vpIdx, tIdx, err))
+		pair.transfer = degradedTransfer(tick, vp, vpIdx, target)
+		pair.hasTransfer = true
+		return pair
+	}
+	pair.transfer = c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
+	pair.hasTransfer = true
+	return pair
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI robustness step: static analysis, a short fuzz smoke over the wire
+# codec, and the chaos matrix (kill/resume byte-identity at every failpoint
+# site crossed with serial and parallel workers).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+# Short fuzz smoke: each dnswire fuzz target gets a few seconds of
+# coverage-guided input on top of its seed corpus. Crashes fail the step.
+for target in FuzzUnpack FuzzDecodeName; do
+	echo "== fuzz $target (5s) =="
+	go test -run "^$target$" -fuzz "^$target$" -fuzztime 5s ./internal/dnswire
+done
+
+echo "== chaos matrix =="
+exec go test -run 'TestChaos|TestSeal|TestWorker|TestResume|TestTornTail|TestCorruptBlock|TestResumeWriter' \
+	./internal/measure ./internal/dataset
