@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench report check
+.PHONY: all build test race bench report check lint
 
 all: build test
 
@@ -10,6 +10,13 @@ build:
 # Tier-1 verification: everything must build and every test must pass.
 test: build
 	$(GO) test ./...
+
+# rootlint: the in-tree analyzer suite (internal/lint) that mechanically
+# enforces the repo's determinism, hot-path, and fault-injection invariants.
+# Exits non-zero on any finding; see DESIGN.md section 10 for the rules and
+# the //rootlint: annotation grammar.
+lint:
+	$(GO) run ./cmd/rootlint ./...
 
 # Race coverage for the parallel campaign engine and the analyses it feeds.
 # TestCampaignManyWorkersRace drives a many-worker campaign across a fault

@@ -1,0 +1,61 @@
+// Command rootlint runs the repository's static-analysis suite
+// (internal/lint) over the module: detrand (no wall clock / global
+// randomness in simulation packages), hotpath (zero-alloc contract on
+// //rootlint:hotpath functions), failpointsite (chaos-site registry and
+// coverage cross-check), orderedmap (no map-iteration writes into ordered
+// sinks), and directive (annotation grammar). Any finding is a build
+// failure: the invariants these analyzers enforce are the ones the
+// campaign's byte-identical-output guarantees rest on.
+//
+// Usage:
+//
+//	rootlint [-list] [packages]
+//
+// The package arguments are accepted for familiarity ("./...") but the
+// whole enclosing module is always analyzed: every invariant here is a
+// whole-program property.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rootlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rootlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(prog, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rootlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		p := prog.Fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: [%s] %s\n", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rootlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

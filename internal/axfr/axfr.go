@@ -44,6 +44,8 @@ var framePool = sync.Pool{New: func() any {
 }}
 
 // WriteMessage writes one DNS message with the TCP length prefix.
+//
+//rootlint:hotpath
 func WriteMessage(w io.Writer, m *dnswire.Message) error {
 	bp := framePool.Get().(*[]byte)
 	defer framePool.Put(bp)
@@ -54,6 +56,7 @@ func WriteMessage(w io.Writer, m *dnswire.Message) error {
 	*bp = buf[:0]
 	wireLen := len(buf) - 2
 	if wireLen > 0xFFFF {
+		//rootlint:allow hotpath: cold error path — ResponseMessages chunks zones well under the frame limit
 		return fmt.Errorf("axfr: message of %d bytes exceeds TCP frame limit", wireLen)
 	}
 	binary.BigEndian.PutUint16(buf, uint16(wireLen))

@@ -79,6 +79,8 @@ func (m *Message) Pack() ([]byte, error) { return m.AppendPack(nil) }
 // be nil). Reusing the returned buffer across packs makes the steady state
 // allocation-free: the compression map comes from an internal pool and every
 // name suffix key is a substring of the message's own names.
+//
+//rootlint:hotpath
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	cm := cmPool.Get().(compressionMap)
 	out, err := m.pack(buf, cm)

@@ -1,0 +1,191 @@
+package failpoint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSiteRegistryMatchesTree enumerates every failpoint.Eval site in the
+// module source and asserts the Sites registry matches it exactly — no
+// unregistered site, no dead entry, no duplicates — and that the chaos
+// tests exercise every site, with every kill-capable site covered by an
+// actual kill action. A new Eval site therefore cannot ship untested: this
+// test (and rootlint's failpointsite analyzer) fails until the registry and
+// the chaos matrix both know about it.
+func TestSiteRegistryMatchesTree(t *testing.T) {
+	root := moduleRoot(t)
+	evalSites, killSpecs, allSpecs := scanTree(t, root)
+
+	registered := make(map[string]Site)
+	for _, s := range Sites {
+		if _, dup := registered[s.Name]; dup {
+			t.Errorf("duplicate registry entry %q", s.Name)
+		}
+		registered[s.Name] = s
+	}
+
+	var evalNames []string
+	for name, count := range evalSites {
+		evalNames = append(evalNames, name)
+		if count > 1 {
+			t.Errorf("site %q is evaluated at %d locations; hit counts must belong to one code path", name, count)
+		}
+		if _, ok := registered[name]; !ok {
+			t.Errorf("site %q is evaluated in the tree but missing from the Sites registry", name)
+		}
+	}
+	sort.Strings(evalNames)
+
+	for name, s := range registered {
+		if _, ok := evalSites[name]; !ok {
+			t.Errorf("registry entry %q has no failpoint.Eval site in the tree", name)
+			continue
+		}
+		if !allSpecs[name] {
+			t.Errorf("site %q is never exercised by any chaos-test spec", name)
+		}
+		if s.Kill && !killSpecs[name] {
+			t.Errorf("kill-capable site %q is never exercised with a kill action by the chaos tests", name)
+		}
+	}
+
+	if len(evalNames) == 0 {
+		t.Fatal("found no failpoint.Eval sites in the tree; the scanner is broken")
+	}
+	t.Logf("registry covers %d sites: %s", len(evalNames), strings.Join(evalNames, ", "))
+}
+
+// moduleRoot walks up from the test's directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+var specRE = regexp.MustCompile(`^([a-zA-Z0-9_./-]+)=(panic|error|kill)(@[0-9]+)?$`)
+
+// scanTree parses every .go file under root (skipping testdata), returning
+// Eval site name counts from non-test files and the chaos spec coverage
+// (kill actions, any action) from test files.
+func scanTree(t *testing.T, root string) (evalSites map[string]int, killSpecs, allSpecs map[string]bool) {
+	t.Helper()
+	evalSites = make(map[string]int)
+	killSpecs = make(map[string]bool)
+	allSpecs = make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectSpecs(f, killSpecs, allSpecs)
+			return nil
+		}
+		collectEvalSites(f, evalSites)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evalSites, killSpecs, allSpecs
+}
+
+// collectEvalSites records <failpoint>.Eval("lit") calls, resolving the
+// package's local import name from the file's imports.
+func collectEvalSites(f *ast.File, out map[string]int) {
+	pkgName := ""
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "repro/internal/failpoint" {
+			continue
+		}
+		pkgName = "failpoint"
+		if imp.Name != nil {
+			pkgName = imp.Name.Name
+		}
+	}
+	if pkgName == "" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Eval" || len(call.Args) != 1 {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != pkgName {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if name, err := strconv.Unquote(lit.Value); err == nil {
+			out[name]++
+		}
+		return true
+	})
+}
+
+// collectSpecs records which sites the test file's chaos specs exercise.
+func collectSpecs(f *ast.File, killSpecs, allSpecs map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for _, part := range strings.Split(s, ",") {
+			m := specRE.FindStringSubmatch(strings.TrimSpace(part))
+			if m == nil {
+				continue
+			}
+			allSpecs[m[1]] = true
+			if m[2] == "kill" {
+				killSpecs[m[1]] = true
+			}
+		}
+		return true
+	})
+}

@@ -133,6 +133,8 @@ type LossModel struct {
 // lost. The decision is a splitmix64 finalizer chain over the packed
 // coordinates — allocation-free, unlike constructing a PRNG per call — with
 // the top 53 bits mapped uniformly onto [0, 1).
+//
+//rootlint:hotpath
 func (l LossModel) Lost(vpIdx, targetIdx, tick, step int) bool {
 	if l.Prob <= 0 {
 		return false

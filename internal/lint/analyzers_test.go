@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture pairs a failing package (a, every violation form with a want
+// expectation) with a passing package (b, near-miss idioms that must stay
+// silent); the directive fixture carries both in one file.
+
+func TestDetrand(t *testing.T) { linttest.Run(t, lint.Detrand, "detrand") }
+
+func TestHotpath(t *testing.T) { linttest.Run(t, lint.Hotpath, "hotpath") }
+
+func TestOrderedmap(t *testing.T) { linttest.Run(t, lint.Orderedmap, "orderedmap") }
+
+func TestFailpointsite(t *testing.T) { linttest.Run(t, lint.Failpointsite, "failpointsite") }
+
+func TestDirective(t *testing.T) { linttest.Run(t, lint.Directive, "directive") }
+
+// TestSuiteCleanOnRepo is the same gate as `make lint`: the full analyzer
+// suite over the whole module must report nothing. Keeping it as a test
+// means plain `go test ./...` catches a new violation even when the lint
+// target is skipped.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check")
+	}
+	prog := linttest.MustLoadModule(t)
+	diags, err := lint.RunAnalyzers(prog, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("rootlint suite is not clean on the repo:\n%s", linttest.Format(prog.Fset, diags))
+	}
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Failpointsite cross-checks the three legs of the chaos harness against
+// each other, program-wide:
+//
+//  1. every failpoint.Eval("site") literal in the tree must appear in the
+//     failpoint package's Sites registry (an unregistered site is invisible
+//     to the chaos matrix and ships untested);
+//  2. every registry entry must correspond to a live Eval site (a dead
+//     entry means the site was removed but its chaos coverage claim
+//     lingers);
+//  3. no duplicates on either side — two Eval calls sharing one site name
+//     split the hit counter across unrelated code paths, breaking the
+//     "fires exactly once, deterministically" contract;
+//  4. every registered site must be exercised by a chaos-test spec
+//     ("site=action[@N]" string literals in _test.go files), and every
+//     kill-capable site (Kill: true in the registry) must be exercised
+//     with a kill action specifically — kill is the one action whose
+//     recovery path (resume to byte-identical output) example tests cannot
+//     cover incidentally.
+//
+// Eval calls with a non-constant site argument are flagged too: the
+// registry cross-check is only sound when site names are literals.
+var Failpointsite = &Analyzer{
+	Name: "failpointsite",
+	Doc:  "cross-checks failpoint.Eval sites against the registry and chaos-test coverage",
+}
+
+// RunProgram is attached in init to break the initialization cycle between
+// the analyzer value and its run function (which reports through it).
+func init() { Failpointsite.RunProgram = runFailpointsite }
+
+// chaosSpecRE matches one failpoint activation spec, the grammar accepted by
+// failpoint.Enable.
+var chaosSpecRE = regexp.MustCompile(`^([a-zA-Z0-9_./-]+)=(panic|error|kill)(@[0-9]+)?$`)
+
+type evalSite struct {
+	name string
+	pos  token.Pos
+}
+
+type registrySite struct {
+	name string
+	kill bool
+	pos  token.Pos
+}
+
+func runFailpointsite(prog *Program) error {
+	var evals []evalSite
+	var registry []registrySite
+	actions := make(map[string]map[string]bool) // site -> actions seen in tests
+	registryFound := false
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			collectEvals(prog, pkg, f, &evals)
+		}
+		if isFailpointPkg(pkg) {
+			for _, f := range pkg.Files {
+				if collectRegistry(f, &registry) {
+					registryFound = true
+				}
+			}
+		}
+		for _, f := range pkg.TestFiles {
+			collectChaosSpecs(f, actions)
+		}
+	}
+
+	if len(evals) == 0 {
+		return nil // program uses no failpoints; nothing to cross-check
+	}
+	if !registryFound {
+		prog.Reportf(Failpointsite, evals[0].pos,
+			"failpoint.Eval sites exist but no Sites registry was found in the failpoint package")
+		return nil
+	}
+
+	evalByName := make(map[string][]evalSite)
+	for _, e := range evals {
+		evalByName[e.name] = append(evalByName[e.name], e)
+	}
+	regByName := make(map[string][]registrySite)
+	for _, r := range registry {
+		regByName[r.name] = append(regByName[r.name], r)
+	}
+
+	for name, sites := range evalByName {
+		if len(sites) > 1 {
+			for _, s := range sites[1:] {
+				prog.Reportf(Failpointsite, s.pos,
+					"failpoint site %q is evaluated at multiple locations; hit counts would span unrelated code paths", name)
+			}
+		}
+		if len(regByName[name]) == 0 {
+			prog.Reportf(Failpointsite, sites[0].pos,
+				"failpoint site %q is not in the failpoint.Sites registry", name)
+		}
+	}
+	for name, regs := range regByName {
+		if len(regs) > 1 {
+			for _, r := range regs[1:] {
+				prog.Reportf(Failpointsite, r.pos, "duplicate registry entry for failpoint site %q", name)
+			}
+		}
+		r := regs[0]
+		if len(evalByName[name]) == 0 {
+			prog.Reportf(Failpointsite, r.pos,
+				"dead registry entry: no failpoint.Eval(%q) site exists", name)
+			continue
+		}
+		acts := actions[name]
+		if len(acts) == 0 {
+			prog.Reportf(Failpointsite, r.pos,
+				"failpoint site %q is never exercised by any chaos test spec", name)
+			continue
+		}
+		if r.kill && !acts["kill"] {
+			prog.Reportf(Failpointsite, r.pos,
+				"kill-capable failpoint site %q is never exercised with a kill action by the chaos tests", name)
+		}
+	}
+	return nil
+}
+
+// isFailpointPkg reports whether pkg is the failpoint package (by name, so
+// fixtures with a local failpoint package work the same as the real one).
+func isFailpointPkg(pkg *PackageInfo) bool {
+	return pkg.Pkg != nil && pkg.Pkg.Name() == "failpoint"
+}
+
+// collectEvals gathers <failpoint-pkg>.Eval("literal") calls.
+func collectEvals(prog *Program, pkg *PackageInfo, f *ast.File, out *[]evalSite) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Eval" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkgNameOf(pkg.Info, ident)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "failpoint" && !strings.HasSuffix(path, "/failpoint") {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			prog.Reportf(Failpointsite, call.Args[0].Pos(),
+				"failpoint.Eval site name must be a string literal for registry cross-checking")
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		*out = append(*out, evalSite{name: name, pos: lit.Pos()})
+		return true
+	})
+}
+
+// collectRegistry parses `var Sites = []Site{{Name: "...", Kill: ...}, ...}`
+// declarations, reporting whether one was found in f.
+func collectRegistry(f *ast.File, out *[]registrySite) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range spec.Names {
+			if name.Name != "Sites" || i >= len(spec.Values) {
+				continue
+			}
+			lit, ok := spec.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			found = true
+			for _, elt := range lit.Elts {
+				entry, ok := elt.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				site := registrySite{pos: entry.Pos()}
+				for _, field := range entry.Elts {
+					kv, ok := field.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Name":
+						if s, ok := kv.Value.(*ast.BasicLit); ok && s.Kind == token.STRING {
+							if v, err := strconv.Unquote(s.Value); err == nil {
+								site.name = v
+							}
+						}
+					case "Kill":
+						if id, ok := kv.Value.(*ast.Ident); ok {
+							site.kill = id.Name == "true"
+						}
+					}
+				}
+				if site.name != "" {
+					*out = append(*out, site)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectChaosSpecs scans a test file for "site=action[@N]" string literals
+// (including comma-separated multi-site specs) and records which actions
+// each site is exercised with.
+func collectChaosSpecs(f *ast.File, actions map[string]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for _, part := range strings.Split(s, ",") {
+			m := chaosSpecRE.FindStringSubmatch(strings.TrimSpace(part))
+			if m == nil {
+				continue
+			}
+			site, action := m[1], m[2]
+			if actions[site] == nil {
+				actions[site] = make(map[string]bool)
+			}
+			actions[site][action] = true
+		}
+		return true
+	})
+}

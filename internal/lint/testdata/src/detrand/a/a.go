@@ -1,0 +1,49 @@
+// Package a holds the detrand analyzer's failing cases: wall-clock reads
+// and global-source randomness, plus the two allow forms that suppress them.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sampler struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+// A wall clock sneaking into a default field is the classic leak: the
+// analyzer must flag the function value, not just calls.
+func fresh() *sampler {
+	return &sampler{
+		now: time.Now, // want "time.Now reads the wall clock"
+		rng: rand.New(rand.NewSource(7)),
+	}
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from math/rand's process-global source"
+}
+
+func shuffle(n int) []int {
+	return rand.Perm(n) // want "rand.Perm draws from math/rand's process-global source"
+}
+
+// The standalone allow form covers the next line.
+func wallStandalone() time.Time {
+	//rootlint:allow wallclock: fixture exercises the standalone allow form
+	return time.Now()
+}
+
+// The trailing allow form covers its own line.
+func wallTrailing() time.Time {
+	return time.Now() //rootlint:allow wallclock: fixture exercises the trailing allow form
+}
+
+func globalAllowed() int {
+	return rand.Int() //rootlint:allow globalrand: fixture exercises a globalrand allow
+}

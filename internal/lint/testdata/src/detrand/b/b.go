@@ -1,0 +1,30 @@
+// Package b holds the detrand analyzer's passing cases: the clock-injection
+// and seeded-generator idioms the simulation packages actually use. The
+// analyzer must report nothing here.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+type engine struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+func newEngine(now func() time.Time, seed int64) *engine {
+	return &engine{now: now, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (e *engine) tick() time.Time { return e.now() }
+
+func (e *engine) jitter() float64 { return e.rng.Float64() }
+
+// Types and constants from time and math/rand are fine; so are methods on
+// an explicitly seeded *rand.Rand.
+func format(t time.Time) string { return t.Format(time.RFC3339) }
+
+func window(d time.Duration) time.Duration { return d * 2 }
+
+func draw(rng *rand.Rand, n int) int { return rng.Intn(n) }

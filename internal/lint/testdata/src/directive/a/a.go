@@ -1,0 +1,22 @@
+// Package a exercises the //rootlint: annotation grammar itself. The
+// diagnostic lands on the directive comment's own line, so each expectation
+// rides inside the same comment (only one line comment fits on a line).
+package a
+
+//rootlint:frobnicate // want "unknown rootlint directive"
+var a = 1
+
+var b = 2 //rootlint:allow wallclock // want "allow directive needs a reason"
+
+var c = 3 //rootlint:allow clockskew: fixture // want "unknown allow category"
+
+var d = 4 //rootlint:allow : because // want "allow directive names no category"
+
+// Well-formed forms parse clean: a reasoned single-category allow, a
+// reasoned multi-category allow, and a bare hotpath marker.
+var e = 5 //rootlint:allow wallclock: fixture exercises the well-formed trailing form
+
+var f = 6 //rootlint:allow wallclock,globalrand: fixture exercises the multi-category form
+
+//rootlint:hotpath
+func g() {}

@@ -1,0 +1,43 @@
+// Package a evaluates failpoints: some correctly registered and exercised,
+// some violating the registry cross-checks.
+package a
+
+import "failpointsite/failpoint"
+
+// tick holds the clean sites: registered once, exercised by the matrix in
+// a_test.go, with kill coverage where the registry claims kill capability.
+func tick() error {
+	if err := failpoint.Eval("a/ok"); err != nil {
+		return err
+	}
+	if err := failpoint.Eval("a/kill-ok"); err != nil {
+		return err
+	}
+	return failpoint.Eval("a/dup")
+}
+
+// A second Eval of the same site splits its hit counter across unrelated
+// code paths.
+func tickAgain() error {
+	return failpoint.Eval("a/dup") // want "evaluated at multiple locations"
+}
+
+func probe() error {
+	return failpoint.Eval("a/unregistered") // want "not in the failpoint.Sites registry"
+}
+
+// Registered kill-capable but only error-tested: the report lands on the
+// registry entry, not here.
+func transfer() error {
+	return failpoint.Eval("a/kill-missing")
+}
+
+// Registered but absent from every chaos spec: reported at the registry.
+func seal() error {
+	return failpoint.Eval("a/uncovered")
+}
+
+// A computed site name defeats the registry cross-check entirely.
+func dynamic(site string) error {
+	return failpoint.Eval(site) // want "must be a string literal"
+}

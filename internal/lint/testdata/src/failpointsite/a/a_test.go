@@ -1,0 +1,17 @@
+package a
+
+import "testing"
+
+// chaosMatrix is what the analyzer mines for coverage: "site=action[@N]"
+// spec literals, including comma-separated multi-site specs.
+var chaosMatrix = []string{
+	"a/ok=error@2",
+	"a/kill-ok=kill",
+	"a/dup=panic@1,a/kill-missing=error",
+}
+
+func TestChaosMatrixShape(t *testing.T) {
+	if len(chaosMatrix) != 3 {
+		t.Fatal("fixture matrix changed; update the want comments")
+	}
+}

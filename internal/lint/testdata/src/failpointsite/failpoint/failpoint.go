@@ -1,0 +1,28 @@
+// Package failpoint is a fixture stand-in for the real injection package:
+// the analyzer only needs Eval's shape and the Sites registry, matched by
+// package name and import-path suffix.
+package failpoint
+
+// Site describes one registered failpoint.
+type Site struct {
+	Name string
+	Kill bool
+}
+
+// Sites is the registry the analyzer cross-checks against Eval call sites
+// and chaos-test specs.
+var Sites = []Site{
+	{Name: "a/ok", Kill: false},
+	{Name: "a/kill-ok", Kill: true},
+	{Name: "a/dup", Kill: false},
+	{Name: "a/ok", Kill: false},          // want "duplicate registry entry"
+	{Name: "a/dead", Kill: false},        // want "dead registry entry"
+	{Name: "a/uncovered", Kill: false},   // want "never exercised by any chaos test spec"
+	{Name: "a/kill-missing", Kill: true}, // want "never exercised with a kill action"
+}
+
+// Eval reports whether the named site should fire.
+func Eval(site string) error {
+	_ = site
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package a holds the hotpath analyzer's failing cases: allocation-prone
+// constructs inside functions marked //rootlint:hotpath.
+package a
+
+import "fmt"
+
+//rootlint:hotpath
+func describe(kind string, n int) string {
+	return fmt.Sprintf("%s/%d", kind, n) // want "fmt.Sprintf allocates on every call"
+}
+
+//rootlint:hotpath
+func fail(n int) error {
+	return fmt.Errorf("bad frame %d", n) // want "fmt.Errorf allocates on every call"
+}
+
+//rootlint:hotpath
+func join(parts []string) string {
+	var out string
+	for _, p := range parts {
+		out += p // want "string concatenation in a loop"
+	}
+	return out
+}
+
+//rootlint:hotpath
+func joinBinary(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p // want "string concatenation in a loop"
+	}
+	return out
+}
+
+//rootlint:hotpath
+func escape(n int) func() int {
+	return func() int { return n } // want "closure captures enclosing variables and escapes"
+}
+
+//rootlint:hotpath
+func freshMake(b byte) []byte {
+	return append(make([]byte, 0, 4), b) // want "append onto make"
+}
+
+//rootlint:hotpath
+func freshLit(b byte) []byte {
+	return append([]byte{}, b) // want "append onto a slice literal"
+}
+
+//rootlint:hotpath
+func freshConv(s string, b byte) []byte {
+	return append([]byte(s), b) // want "append onto a slice conversion"
+}
+
+// A cold path inside a hot function is suppressed with a reasoned allow.
+//
+//rootlint:hotpath
+func frame(n int) error {
+	if n > 0xffff {
+		//rootlint:allow hotpath: cold error path, fires at most once per malformed zone
+		return fmt.Errorf("frame %d exceeds 64 KiB", n)
+	}
+	return nil
+}

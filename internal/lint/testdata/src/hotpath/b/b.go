@@ -1,0 +1,40 @@
+// Package b holds the hotpath analyzer's passing cases: idioms that look
+// close to the flagged constructs but allocate nothing per call, and
+// undirected functions the analyzer must ignore entirely. No reports here.
+package b
+
+import "fmt"
+
+// No //rootlint:hotpath directive: fmt.Sprintf is fine in ordinary code.
+func describe(kind string, n int) string {
+	return fmt.Sprintf("%s/%d", kind, n)
+}
+
+//rootlint:hotpath
+func sum(buf []byte) int {
+	total := 0
+	for _, c := range buf {
+		total += int(c) // integer +=, not string concatenation
+	}
+	return total
+}
+
+//rootlint:hotpath
+func appendInto(dst, src []byte) []byte {
+	return append(dst, src...) // caller-provided base: amortized, not fresh
+}
+
+//rootlint:hotpath
+func immediate(n int) int {
+	return func() int { return n * 2 }() // immediately invoked: does not escape
+}
+
+//rootlint:hotpath
+func constant() func() int {
+	return func() int { return 42 } // captures nothing: free to escape
+}
+
+//rootlint:hotpath
+func concatOnce(a, b string) string {
+	return a + b // concatenation outside any loop is a single allocation
+}

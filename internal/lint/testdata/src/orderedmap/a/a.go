@@ -1,0 +1,36 @@
+// Package a holds the orderedmap analyzer's failing cases: map ranges whose
+// bodies write into order-sensitive sinks.
+package a
+
+import (
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+)
+
+func dumpDirect(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s %d\n", name, n) // want "fmt.Fprintf writes inside a map range"
+	}
+}
+
+func digest(h hash.Hash, m map[string][]byte) {
+	for _, v := range m {
+		h.Write(v) // want "method Write writes inside a map range"
+	}
+}
+
+func render(m map[string]string) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "method WriteString writes inside a map range"
+	}
+	return sb.String()
+}
+
+func copyOut(w io.Writer, m map[string]string) {
+	for _, v := range m {
+		io.WriteString(w, v) // want "io.WriteString writes inside a map range"
+	}
+}

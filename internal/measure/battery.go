@@ -20,6 +20,25 @@ import (
 // exercised end-to-end inside the campaign.
 type Battery struct {
 	srv *dnsserver.Server
+	// memBytes estimates the resident footprint of the zones the battery
+	// serves, computed once at construction; the battery cache budgets by
+	// it. Zero for a zero-value Battery.
+	memBytes int64
+}
+
+// SizeBytes reports the battery's estimated resident footprint.
+func (b *Battery) SizeBytes() int64 { return b.memBytes }
+
+// zoneFootprint estimates a zone's resident bytes: the cached canonical
+// wire of each record (which the battery's serve paths materialize anyway)
+// plus a fixed allowance for the decoded RR value and slice headers.
+func zoneFootprint(z *zone.Zone) int64 {
+	const perRecordOverhead = 96
+	var n int64
+	for i := range z.Records {
+		n += int64(len(z.CanonicalWire(i))) + perRecordOverhead
+	}
+	return n
 }
 
 // NewBattery wraps the root zone (and the root-servers.net companion zone
@@ -36,7 +55,7 @@ func NewBattery(z *zone.Zone, identity dnsserver.Identity) (*Battery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Battery{srv: srv}, nil
+	return &Battery{srv: srv, memBytes: zoneFootprint(z) + zoneFootprint(companion)}, nil
 }
 
 // BatteryResult summarizes a battery run.

@@ -33,6 +33,29 @@ func TestBatteryCleanZone(t *testing.T) {
 	}
 }
 
+// TestBatterySizeBytes asserts a real battery reports a plausible nonzero
+// footprint, so the campaign's byte-budgeted cache is actually engaged.
+func TestBatterySizeBytes(t *testing.T) {
+	w := testWorld(t)
+	cfg := DefaultConfig()
+	cfg.TLDCount = 15
+	c := NewCampaign(cfg, w)
+	when := time.Date(2023, 12, 10, 0, 0, 0, 0, time.UTC)
+	z, err := c.signedZone(SerialAt(when), 2, SerialPublishedAt(when), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBattery(z, dnsserver.Identity{Hostname: "h", Version: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root zone alone holds hundreds of records; anything tiny means
+	// the estimator broke.
+	if got := b.SizeBytes(); got < int64(len(z.Records))*10 {
+		t.Fatalf("SizeBytes = %d for %d records, implausibly small", got, len(z.Records))
+	}
+}
+
 func TestBatteryDetectsWrongIdentity(t *testing.T) {
 	w := testWorld(t)
 	cfg := DefaultConfig()

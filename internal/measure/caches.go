@@ -69,33 +69,65 @@ func (vc *valCache) get(key valKey, build func() valResult) valResult {
 	return e.res
 }
 
-// batteryCache bounds the wire-check battery cache by evicting the
-// oldest-serial entries once it grows past max — batteries are only useful
-// around the current serial, and serials are monotone over the campaign, so
-// oldest-serial is oldest-use. (The seed's version cleared the whole map
+// batteryCacheBudget bounds the campaign's wire-check battery cache. The
+// previous bound was 8 entries regardless of zone size; 32 MiB holds
+// roughly the same number of full-scale batteries (signed root zone +
+// companion, ~1–3 MiB each) while letting small-zone campaigns keep far
+// more serials resident.
+const batteryCacheBudget int64 = 32 << 20
+
+// batteryCache bounds the wire-check battery cache by resident bytes,
+// evicting oldest-serial entries while over budget — batteries are only
+// useful around the current serial, and serials are monotone over the
+// campaign, so oldest-serial is oldest-use. Bounding by bytes rather than
+// entry count (the PR 1 policy) lets many cheap entries stay resident —
+// copy-on-write zones make the marginal battery small — while a few huge
+// ones still evict promptly. (The seed's version cleared the whole map
 // instead, throwing away the current serial's neighbors too.)
 type batteryCache struct {
 	mu      sync.Mutex
-	max     int
-	entries map[zoneKey]*Battery
+	budget  int64 // max resident bytes
+	used    int64
+	entries map[zoneKey]batteryEntry
 }
 
-func newBatteryCache(max int) *batteryCache {
-	return &batteryCache{max: max, entries: make(map[zoneKey]*Battery)}
+type batteryEntry struct {
+	b    *Battery
+	cost int64
+}
+
+func newBatteryCache(budget int64) *batteryCache {
+	return &batteryCache{budget: budget, entries: make(map[zoneKey]batteryEntry)}
 }
 
 func (bc *batteryCache) get(key zoneKey) (*Battery, bool) {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	b, ok := bc.entries[key]
-	return b, ok
+	e, ok := bc.entries[key]
+	return e.b, ok
 }
 
 func (bc *batteryCache) put(key zoneKey, b *Battery) {
+	bc.putCost(key, b, b.SizeBytes())
+}
+
+// putCost inserts b at an explicit byte cost (put computes it; tests pin
+// boundary behavior with synthetic costs). Every entry costs at least one
+// byte so that even zero-sized batteries respect the budget's entry
+// arithmetic. The just-inserted entry is never evicted, even when it alone
+// exceeds the whole budget: the campaign is about to run it.
+func (bc *batteryCache) putCost(key zoneKey, b *Battery, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	bc.entries[key] = b
-	for len(bc.entries) > bc.max {
+	if prev, ok := bc.entries[key]; ok {
+		bc.used -= prev.cost
+	}
+	bc.entries[key] = batteryEntry{b: b, cost: cost}
+	bc.used += cost
+	for bc.used > bc.budget {
 		oldest := key
 		first := true
 		for k := range bc.entries {
@@ -106,13 +138,21 @@ func (bc *batteryCache) put(key zoneKey, b *Battery) {
 		if oldest == key {
 			return // never evict the entry just inserted
 		}
+		bc.used -= bc.entries[oldest].cost
 		delete(bc.entries, oldest)
 	}
 }
 
-// len reports the current cache size (for tests).
+// len reports the current entry count (for tests).
 func (bc *batteryCache) len() int {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 	return len(bc.entries)
+}
+
+// bytes reports the resident cost total (for tests).
+func (bc *batteryCache) bytes() int64 {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.used
 }

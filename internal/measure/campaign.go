@@ -299,7 +299,7 @@ type Campaign struct {
 	// validations caches fault classifications, also single-flight.
 	validations *valCache
 	// batteries caches wire-check batteries per zone version, evicting
-	// oldest-serial entries beyond its bound.
+	// oldest-serial entries once the resident-byte budget is exceeded.
 	batteries *batteryCache
 
 	// WireQueries and WireFailures accumulate the wire-check results when
@@ -350,7 +350,7 @@ func NewCampaign(cfg Config, w *World) *Campaign {
 		traceCfg:    traceroute.DefaultConfig(),
 		signedZones: newZoneCache(),
 		validations: newValCache(),
-		batteries:   newBatteryCache(8),
+		batteries:   newBatteryCache(batteryCacheBudget),
 	}
 }
 

@@ -154,6 +154,9 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 		// SIGKILL mid-frame: the dataset gains a torn tail that resume
 		// truncates.
 		{"seal-partial", "dataset/seal/partial=kill@2"},
+		// SIGKILL at the seal entry, before any bytes move: the pending
+		// block stays buffered (never written), and resume replays it.
+		{"seal", "dataset/seal=kill@2"},
 	}
 	for _, workers := range []int{1, 4} {
 		for _, kill := range kills {

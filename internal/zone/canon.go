@@ -58,6 +58,11 @@ func (z *Zone) state() *canonState {
 	return z.canon.Load()
 }
 
+// ensureWires builds the per-record canonical wires once; after the first
+// call the fast path is a single atomic load, shared by every digest,
+// signing, and AXFR size estimate over the zone.
+//
+//rootlint:hotpath
 func (cs *canonState) ensureWires(z *Zone) {
 	if cs.wiresDone.Load() {
 		return
@@ -78,6 +83,10 @@ func (cs *canonState) ensureWires(z *Zone) {
 	cs.wiresDone.Store(true)
 }
 
+// ensureOrder derives the canonical permutation and RRset grouping once;
+// the steady-state cost is one atomic load.
+//
+//rootlint:hotpath
 func (cs *canonState) ensureOrder(z *Zone) {
 	cs.ensureWires(z)
 	if cs.orderDone.Load() {
@@ -96,6 +105,7 @@ func (cs *canonState) ensureOrder(z *Zone) {
 	// Same comparator as dnswire.CanonicalRRLess, but tie-breaking on the
 	// cached RDATA octets instead of re-encoding; a stable sort of indices
 	// therefore yields the identical permutation.
+	//rootlint:allow hotpath: build-once path behind the orderDone flag; the sort closure escapes exactly once per zone
 	sort.SliceStable(order, func(a, b int) bool {
 		ia, ib := order[a], order[b]
 		ra, rb := z.Records[ia], z.Records[ib]

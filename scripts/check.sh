@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+# rootlint runs before the fuzz smoke: a determinism or hot-path violation
+# is cheaper to surface than a fuzz crash, and the suite doubles as a type
+# check of the whole tree.
+echo "== rootlint =="
+go run ./cmd/rootlint ./...
+
 # Short fuzz smoke: each dnswire fuzz target gets a few seconds of
 # coverage-guided input on top of its seed corpus. Crashes fail the step.
 for target in FuzzUnpack FuzzDecodeName; do
