@@ -30,11 +30,14 @@ race:
 check:
 	sh scripts/check.sh
 
-# Regenerate the reproduction report via the benchmark harness.
+# Regenerate the reproduction report via the benchmark harness, then record
+# the telemetry layer's on/off overhead on the campaign engine (budget <=3%)
+# into BENCH_PR5.json.
 # BENCH_SCALE overrides schedule thinning (smaller = higher fidelity, slower).
 # -benchmem keeps allocs/op visible so fast-path regressions are caught.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
+	sh scripts/bench_telemetry.sh
 
 report:
 	$(GO) run ./cmd/rootstudy -quick

@@ -28,6 +28,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/propagation"
 	"repro/internal/rss"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
 	"repro/internal/zone"
@@ -276,6 +277,22 @@ func benchmarkCampaignWorkers(b *testing.B, workers int) {
 func BenchmarkCampaignWorkers1(b *testing.B) { benchmarkCampaignWorkers(b, 1) }
 func BenchmarkCampaignWorkers4(b *testing.B) { benchmarkCampaignWorkers(b, 4) }
 func BenchmarkCampaignWorkers8(b *testing.B) { benchmarkCampaignWorkers(b, 8) }
+
+// benchmarkCampaignWorkersTelemetry is the same campaign with the telemetry
+// layer fully live — counters, gauges, and the wall-clock histogram timers
+// that SetEnabled gates (the exact state a `-metrics`/`-telemetry-addr` run
+// is in). scripts/bench_telemetry.sh pairs these against the plain variants
+// and records the overhead into BENCH_PR5.json; the budget is ≤3%.
+func benchmarkCampaignWorkersTelemetry(b *testing.B, workers int) {
+	telemetry.Reset()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+	benchmarkCampaignWorkers(b, workers)
+}
+
+func BenchmarkCampaignWorkersTelemetry1(b *testing.B) { benchmarkCampaignWorkersTelemetry(b, 1) }
+func BenchmarkCampaignWorkersTelemetry4(b *testing.B) { benchmarkCampaignWorkersTelemetry(b, 4) }
+func BenchmarkCampaignWorkersTelemetry8(b *testing.B) { benchmarkCampaignWorkersTelemetry(b, 8) }
 
 // --- Substrate micro-benchmarks ------------------------------------------
 

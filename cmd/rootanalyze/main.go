@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rootanalyze -in study.rgds [-seed 1] [-vpscale 1]
+//	            [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/measure"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
 )
@@ -24,7 +26,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed used when recording")
 	vpScale := flag.Int("vpscale", 1, "VP population divisor used when recording")
 	tlds := flag.Int("tlds", 80, "TLD count used when recording")
+	telemetry.RegisterFlags()
 	flag.Parse()
+
+	stopTel, err := telemetry.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
 	mCfg := measure.DefaultConfig()
 	mCfg.Seed, mCfg.TLDCount = *seed, *tlds

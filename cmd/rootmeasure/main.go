@@ -9,6 +9,7 @@
 //	rootmeasure -out study.rgds [-seed 1] [-workers N] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
 //	            [-checkpoint study.ckpt] [-checkpoint-every N] [-resume] [-errbudget N] [-chaos spec]
 //	            [-cpuprofile prof.out] [-memprofile mem.out]
+//	            [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
 //
 // With -checkpoint, the recording is crash-safe: progress is checkpointed
 // every -checkpoint-every ticks, and a killed run restarted with -resume
@@ -26,6 +27,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/measure"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
 )
@@ -44,6 +46,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted recording from -checkpoint")
 	errBudget := flag.Int("errbudget", 0, "degraded outcomes (recovered panics, probe errors, retried write errors) tolerated before aborting; negative = unlimited")
 	chaos := flag.String("chaos", "", "failpoint spec site=action[@N][,...] with action panic|error|kill, e.g. campaign/tick=kill@5")
+	telemetry.RegisterFlags()
 	flag.Parse()
 
 	if *chaos != "" {
@@ -60,6 +63,12 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
+	stopTel, err := telemetry.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
 	mCfg := measure.DefaultConfig()
 	mCfg.Seed, mCfg.Scale, mCfg.TLDCount = *seed, *scale, *tlds

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rootserve [-addr 127.0.0.1:5353] [-tlds 120] [-hostname id] [-no-axfr]
+//	          [-metrics out.json] [-telemetry-addr host:port]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/dnssec"
 	"repro/internal/dnsserver"
+	"repro/internal/telemetry"
 	"repro/internal/zone"
 	"repro/internal/zonemd"
 )
@@ -28,10 +30,16 @@ func main() {
 	version := flag.String("version", "repro-rootserve-1.0", "CHAOS version.bind answer")
 	noAXFR := flag.Bool("no-axfr", false, "refuse zone transfers")
 	useRSA := flag.Bool("rsa", false, "sign with RSA/SHA-256 (algorithm 8, like the real root) instead of ECDSA-P256")
+	telemetry.RegisterFlags()
 	flag.Parse()
 
+	stopTel, err := telemetry.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
+
 	var signer *dnssec.Signer
-	var err error
 	if *useRSA {
 		signer, err = dnssec.NewRSASigner(nil)
 	} else {

@@ -5,6 +5,7 @@
 //
 //	rootstudy [-quick] [-seed N] [-workers N] [-scale N] [-vpscale N] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
 //	          [-errbudget N] [-chaos spec] [-cpuprofile prof.out] [-memprofile mem.out]
+//	          [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/prof"
 	"repro/internal/propagation"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	end := flag.String("end", "", "campaign end date (YYYY-MM-DD, default paper end)")
 	errBudget := flag.Int("errbudget", 0, "degraded outcomes tolerated before aborting the campaign (negative = unlimited)")
 	chaos := flag.String("chaos", "", "failpoint spec site=action[@N][,...] for chaos testing")
+	telemetry.RegisterFlags()
 	flag.Parse()
 
 	if *chaos != "" {
@@ -47,6 +50,13 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
+
+	stopTel, err := telemetry.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootstudy: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopTel()
 
 	cfg := repro.DefaultConfig()
 	if *quick {

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/dnswire"
+	"repro/internal/telemetry"
 	"repro/internal/zone"
 )
 
@@ -159,6 +160,11 @@ func Serve(w io.Writer, z *zone.Zone, query *dnswire.Message) error {
 	if len(query.Questions) != 1 {
 		return errors.New("axfr: query must have exactly one question")
 	}
+	mServes.Inc()
+	timer := telemetry.StartTimer()
+	defer timer.ObserveInto(mServeDur)
+	span := telemetry.StartSpan("serve", "axfr", -1, 0)
+	defer span.End()
 	msgs, err := ResponseMessages(z, query.Header.ID, query.Questions[0])
 	if err != nil {
 		return err

@@ -1,0 +1,12 @@
+package axfr
+
+import "repro/internal/telemetry"
+
+// axfr/serves counts completed-or-attempted transfer servings on the Serve
+// entry point (not WriteMessage, which is a rootlint hotpath and must stay
+// allocation- and instrumentation-free). Serve duration is wall-clock and
+// only records behind the telemetry enable gate.
+var (
+	mServes   = telemetry.NewCounter("axfr/serves")
+	mServeDur = telemetry.NewHistogram("wallclock/axfr_serve_us")
+)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestReportByteIdenticalAcrossWorkers is the parallel engine's determinism
@@ -30,6 +32,22 @@ func TestReportByteIdenticalAcrossWorkers(t *testing.T) {
 	parallel := run(8)
 	if serial != parallel {
 		t.Fatal(firstDiff(serial, parallel))
+	}
+
+	// Telemetry must be a pure observer: with the wall-clock layer and span
+	// recording fully on, the report bytes cannot move. Counters aggregate
+	// only at snapshot reads and spans go to a side ring, so any difference
+	// here means instrumentation leaked into the measurement path.
+	telemetry.Reset()
+	telemetry.SetEnabled(true)
+	telemetry.EnableTracing(0)
+	defer func() {
+		telemetry.SetEnabled(false)
+		telemetry.DisableTracing()
+	}()
+	instrumented := run(8)
+	if instrumented != serial {
+		t.Fatal("telemetry enabled changed report bytes: " + firstDiff(serial, instrumented))
 	}
 }
 

@@ -224,6 +224,8 @@ func (d *Writer) Seal() error {
 		return err
 	}
 	d.sealed += int64(len(frame))
+	mBlocksSealed.Inc()
+	mBytesSealed.Add(int64(len(frame)))
 	d.buf.Reset()
 	d.blockRecords = 0
 	d.resetDict()
@@ -281,6 +283,7 @@ func (d *Writer) HandleProbe(e measure.ProbeEvent) {
 	d.uvarint(flags)
 	d.Probes++
 	d.blockRecords++
+	mRecords.Inc()
 	if e.Lost {
 		d.maybeAutoSeal()
 		return
@@ -324,6 +327,7 @@ func (d *Writer) HandleTransfer(e measure.TransferEvent) {
 	d.uvarint(flags)
 	d.Transfers++
 	d.blockRecords++
+	mRecords.Inc()
 	if e.Lost {
 		d.maybeAutoSeal()
 		return
@@ -553,6 +557,7 @@ func (d *Reader) Replay(handlers ...measure.Handler) (probes, transfers int, err
 				return probes, transfers, err
 			}
 			probes++
+			mReplayed.Inc()
 			for _, h := range handlers {
 				h.HandleProbe(e)
 			}
@@ -562,6 +567,7 @@ func (d *Reader) Replay(handlers ...measure.Handler) (probes, transfers int, err
 				return probes, transfers, err
 			}
 			transfers++
+			mReplayed.Inc()
 			for _, h := range handlers {
 				h.HandleTransfer(e)
 			}

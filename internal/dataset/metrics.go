@@ -1,0 +1,14 @@
+package dataset
+
+import "repro/internal/telemetry"
+
+// Dataset counters are stream-class: records, sealed blocks, and sealed
+// bytes are pure functions of the event stream (auto-seal points are
+// deterministic), so they are checkpointed with the campaign and restored
+// on resume to the totals an uninterrupted run would report.
+var (
+	mRecords      = telemetry.NewCounter("dataset/records")
+	mBlocksSealed = telemetry.NewCounter("dataset/blocks_sealed")
+	mBytesSealed  = telemetry.NewCounter("dataset/bytes_sealed")
+	mReplayed     = telemetry.NewCounter("dataset/replayed")
+)

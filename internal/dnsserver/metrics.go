@@ -1,0 +1,12 @@
+package dnsserver
+
+import "repro/internal/telemetry"
+
+// dns/queries is stream-class: the campaign's wire-check battery issues a
+// deterministic query sequence per tick, serially, so the total is a pure
+// function of the schedule. Query latency is wall-clock and only records
+// behind the telemetry enable gate.
+var (
+	mQueries  = telemetry.NewCounter("dns/queries")
+	mQueryDur = telemetry.NewHistogram("wallclock/dns_query_us")
+)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/axfr"
 	"repro/internal/dnswire"
+	"repro/internal/telemetry"
 	"repro/internal/zone"
 )
 
@@ -239,6 +240,11 @@ func (s *Server) Handle(query *dnswire.Message, tcp bool) *dnswire.Message {
 	if query.Header.Response || len(query.Questions) != 1 {
 		return nil
 	}
+	mQueries.Inc()
+	timer := telemetry.StartTimer()
+	defer timer.ObserveInto(mQueryDur)
+	span := telemetry.StartSpan("serve", "dns", -1, 0)
+	defer span.End()
 	q := query.Questions[0]
 	resp := &dnswire.Message{
 		Header: dnswire.Header{

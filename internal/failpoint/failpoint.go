@@ -119,12 +119,14 @@ func Eval(name string) error {
 	if s.hits.Add(1) != s.at || !s.fired.CompareAndSwap(false, true) {
 		return nil
 	}
+	mFired.Inc()
 	switch s.act {
 	case actPanic:
 		panic(Panic{Site: name})
 	case actError:
 		return fmt.Errorf("%w at %s", ErrInjected, name)
 	default:
+		mKills.Inc()
 		return fmt.Errorf("%w at %s", ErrKilled, name)
 	}
 }

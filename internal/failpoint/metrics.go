@@ -1,0 +1,11 @@
+package failpoint
+
+import "repro/internal/telemetry"
+
+// Firing counters are process-class telemetry: a chaos plan's sites fire in
+// this process, and a resumed process re-arms its own plan, so the counts
+// describe the process rather than the event stream and are not checkpointed.
+var (
+	mFired = telemetry.NewCounter("failpoint/fired")
+	mKills = telemetry.NewCounter("failpoint/kills")
+)

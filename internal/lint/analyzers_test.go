@@ -19,6 +19,8 @@ func TestOrderedmap(t *testing.T) { linttest.Run(t, lint.Orderedmap, "orderedmap
 
 func TestFailpointsite(t *testing.T) { linttest.Run(t, lint.Failpointsite, "failpointsite") }
 
+func TestMetricname(t *testing.T) { linttest.Run(t, lint.Metricname, "metricname") }
+
 func TestDirective(t *testing.T) { linttest.Run(t, lint.Directive, "directive") }
 
 // TestSuiteCleanOnRepo is the same gate as `make lint`: the full analyzer

@@ -136,7 +136,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Suite returns the full rootlint analyzer suite in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Orderedmap}
+	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Metricname, Orderedmap}
 }
 
 // --- //rootlint: directive parsing -----------------------------------------

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Metricname cross-checks telemetry metric construction against the
+// telemetry package's static Registry, program-wide — the metrics analogue
+// of failpointsite:
+//
+//  1. every telemetry.NewCounter/NewGauge/NewHistogram call must pass a
+//     string literal (a computed name defeats the registry cross-check and
+//     would only fail at init-time, via claim's panic);
+//  2. the literal must name a Registry entry (an unregistered metric would
+//     panic the process at package init);
+//  3. the constructor must match the entry's registered Kind;
+//  4. no registry name may be constructed at two call sites — claims are
+//     one-shot, so the second site panics at init;
+//  5. no dead registry entries: an entry no call site claims renders as a
+//     permanent zero in every snapshot, silently lying about coverage.
+//
+// Only non-test files are scanned for constructors: the telemetry package's
+// own test binary legitimately claims registry names that its production
+// claimants (measure, dataset) would otherwise hold, and the runtime
+// claim-once panic still guards test binaries.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "cross-checks telemetry metric constructors against the static registry",
+}
+
+func init() { Metricname.RunProgram = runMetricname }
+
+// metricCtors maps constructor names to the registry Kind identifier each
+// must match.
+var metricCtors = map[string]string{
+	"NewCounter":   "KindCounter",
+	"NewGauge":     "KindGauge",
+	"NewHistogram": "KindHistogram",
+}
+
+type metricCall struct {
+	name string
+	ctor string // NewCounter | NewGauge | NewHistogram
+	pos  token.Pos
+}
+
+type metricDef struct {
+	name string
+	kind string // KindCounter | KindGauge | KindHistogram
+	pos  token.Pos
+}
+
+func runMetricname(prog *Program) error {
+	var calls []metricCall
+	var registry []metricDef
+	registryFound := false
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			collectMetricCalls(prog, pkg, f, &calls)
+		}
+		if pkg.Pkg != nil && pkg.Pkg.Name() == "telemetry" {
+			for _, f := range pkg.Files {
+				if collectMetricRegistry(f, &registry) {
+					registryFound = true
+				}
+			}
+		}
+	}
+
+	if len(calls) == 0 {
+		return nil // program constructs no metrics; nothing to cross-check
+	}
+	if !registryFound {
+		prog.Reportf(Metricname, calls[0].pos,
+			"telemetry metrics are constructed but no Registry was found in the telemetry package")
+		return nil
+	}
+
+	callsByName := make(map[string][]metricCall)
+	for _, c := range calls {
+		callsByName[c.name] = append(callsByName[c.name], c)
+	}
+	defByName := make(map[string][]metricDef)
+	for _, d := range registry {
+		defByName[d.name] = append(defByName[d.name], d)
+	}
+
+	for name, sites := range callsByName {
+		if len(sites) > 1 {
+			for _, s := range sites[1:] {
+				prog.Reportf(Metricname, s.pos,
+					"metric %q is constructed at multiple call sites; claims are one-shot and the second panics at init", name)
+			}
+		}
+		defs := defByName[name]
+		if len(defs) == 0 {
+			prog.Reportf(Metricname, sites[0].pos,
+				"metric %q is not in the telemetry Registry", name)
+			continue
+		}
+		if want := metricCtors[sites[0].ctor]; defs[0].kind != "" && defs[0].kind != want {
+			prog.Reportf(Metricname, sites[0].pos,
+				"metric %q is registered as %s but constructed with %s", name, defs[0].kind, sites[0].ctor)
+		}
+	}
+	for name, defs := range defByName {
+		if len(defs) > 1 {
+			for _, d := range defs[1:] {
+				prog.Reportf(Metricname, d.pos, "duplicate Registry entry for metric %q", name)
+			}
+		}
+		if len(callsByName[name]) == 0 {
+			prog.Reportf(Metricname, defs[0].pos,
+				"dead Registry entry: metric %q is never constructed", name)
+		}
+	}
+	return nil
+}
+
+// collectMetricCalls gathers <telemetry-pkg>.New{Counter,Gauge,Histogram}
+// call sites with their name argument.
+func collectMetricCalls(prog *Program, pkg *PackageInfo, f *ast.File, out *[]metricCall) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, isCtor := metricCtors[sel.Sel.Name]; !isCtor {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkgNameOf(pkg.Info, ident)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "telemetry" && !strings.HasSuffix(path, "/telemetry") {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			prog.Reportf(Metricname, call.Args[0].Pos(),
+				"telemetry metric name must be a string literal for registry cross-checking")
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		*out = append(*out, metricCall{name: name, ctor: sel.Sel.Name, pos: lit.Pos()})
+		return true
+	})
+}
+
+// collectMetricRegistry parses `var Registry = []Def{{Name: "...", Kind:
+// KindX, ...}, ...}` declarations, reporting whether one was found in f.
+func collectMetricRegistry(f *ast.File, out *[]metricDef) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range spec.Names {
+			if name.Name != "Registry" || i >= len(spec.Values) {
+				continue
+			}
+			lit, ok := spec.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			found = true
+			for _, elt := range lit.Elts {
+				entry, ok := elt.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				def := metricDef{pos: entry.Pos()}
+				for _, field := range entry.Elts {
+					kv, ok := field.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Name":
+						if s, ok := kv.Value.(*ast.BasicLit); ok && s.Kind == token.STRING {
+							if v, err := strconv.Unquote(s.Value); err == nil {
+								def.name = v
+							}
+						}
+					case "Kind":
+						if id, ok := kv.Value.(*ast.Ident); ok {
+							def.kind = id.Name
+						}
+					}
+				}
+				if def.name != "" {
+					*out = append(*out, def)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

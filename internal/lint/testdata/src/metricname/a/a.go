@@ -1,0 +1,27 @@
+// Package a constructs metrics: some correctly registered, some violating
+// the registry cross-checks.
+package a
+
+import "metricname/telemetry"
+
+// The clean claims: registered once, matching kinds.
+var (
+	mOK      = telemetry.NewCounter("a/ok")
+	mDepth   = telemetry.NewGauge("a/depth")
+	mLatency = telemetry.NewHistogram("a/latency")
+	mDup     = telemetry.NewCounter("a/dup")
+)
+
+// A second claim of an already-claimed name panics at init.
+var mDupAgain = telemetry.NewCounter("a/dup") // want "constructed at multiple call sites"
+
+// A name absent from the Registry panics at init.
+var mUnregistered = telemetry.NewCounter("a/unregistered") // want "not in the telemetry Registry"
+
+// A constructor that disagrees with the registered kind panics at init.
+var mWrongKind = telemetry.NewCounter("a/wrong-kind") // want "registered as KindGauge but constructed with NewCounter"
+
+// A computed name defeats the registry cross-check entirely.
+func dynamic(name string) *telemetry.Counter {
+	return telemetry.NewCounter(name) // want "must be a string literal"
+}

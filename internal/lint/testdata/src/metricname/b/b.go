@@ -1,0 +1,21 @@
+// Package b holds near-miss idioms that must stay silent: constructors from
+// an unrelated package, methods named like constructors, and a clean claim.
+package b
+
+import "metricname/telemetry"
+
+// A registered, once-claimed metric: silent.
+var mOK = telemetry.NewCounter("b/ok")
+
+// local mimics the constructor names on an unrelated receiver; calls through
+// it are not telemetry claims.
+type local struct{}
+
+func (local) NewCounter(name string) int { _ = name; return 0 }
+
+// notTelemetry exercises the mimic: same method name, not the telemetry
+// package, so the bogus name must not be reported.
+func notTelemetry() int {
+	var l local
+	return l.NewCounter("b/not-a-metric")
+}

@@ -1,0 +1,51 @@
+// Package telemetry is a fixture stand-in for the real telemetry package:
+// the analyzer only needs the constructor shapes and the Registry, matched
+// by package name and import-path suffix.
+package telemetry
+
+// Kind is a metric's shape.
+type Kind uint8
+
+// Kinds, mirroring the real registry's enum.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Def is one registry entry.
+type Def struct {
+	Name string
+	Kind Kind
+}
+
+// Registry is the closed name set the analyzer cross-checks constructor
+// call sites against.
+var Registry = []Def{
+	{Name: "a/ok", Kind: KindCounter},
+	{Name: "a/depth", Kind: KindGauge},
+	{Name: "a/latency", Kind: KindHistogram},
+	{Name: "a/dup", Kind: KindCounter},
+	{Name: "a/wrong-kind", Kind: KindGauge},
+	{Name: "a/ok", Kind: KindCounter},   // want "duplicate Registry entry"
+	{Name: "a/dead", Kind: KindCounter}, // want "dead Registry entry"
+	{Name: "b/ok", Kind: KindCounter},
+}
+
+// Counter is a stub metric type.
+type Counter struct{}
+
+// Gauge is a stub metric type.
+type Gauge struct{}
+
+// Histogram is a stub metric type.
+type Histogram struct{}
+
+// NewCounter claims the named counter.
+func NewCounter(name string) *Counter { _ = name; return &Counter{} }
+
+// NewGauge claims the named gauge.
+func NewGauge(name string) *Gauge { _ = name; return &Gauge{} }
+
+// NewHistogram claims the named histogram.
+func NewHistogram(name string) *Histogram { _ = name; return &Histogram{} }

@@ -34,6 +34,9 @@ func (zc *zoneCache) get(key zoneKey, build func() (*zone.Zone, error)) (*zone.Z
 	if e == nil {
 		e = &zoneEntry{}
 		zc.entries[key] = e
+		mZoneMisses.Inc()
+	} else {
+		mZoneHits.Inc()
 	}
 	zc.mu.Unlock()
 	e.once.Do(func() { e.z, e.err = build() })
@@ -63,6 +66,9 @@ func (vc *valCache) get(key valKey, build func() valResult) valResult {
 	if e == nil {
 		e = &valEntry{}
 		vc.entries[key] = e
+		mValMisses.Inc()
+	} else {
+		mValHits.Inc()
 	}
 	vc.mu.Unlock()
 	e.once.Do(func() { e.res = build() })
@@ -104,6 +110,11 @@ func (bc *batteryCache) get(key zoneKey) (*Battery, bool) {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
 	e, ok := bc.entries[key]
+	if ok {
+		mBatteryHits.Inc()
+	} else {
+		mBatteryMisses.Inc()
+	}
 	return e.b, ok
 }
 
@@ -140,6 +151,7 @@ func (bc *batteryCache) putCost(key zoneKey, b *Battery, cost int64) {
 		}
 		bc.used -= bc.entries[oldest].cost
 		delete(bc.entries, oldest)
+		mBatteryEvictions.Inc()
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/rss"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/traceroute"
 	"repro/internal/vantage"
@@ -361,6 +362,12 @@ func NewCampaign(cfg Config, w *World) *Campaign {
 // version through an in-process server and accumulates any failures. It runs
 // serially on the campaign goroutine, once per tick, before the VP fan-out.
 func (c *Campaign) runWireCheck(tick Tick) error {
+	timer := telemetry.StartTimer()
+	span := telemetry.StartSpan("campaign", "wirecheck", tick.Index, 0)
+	defer func() {
+		span.End()
+		timer.ObserveInto(mWirecheckDur)
+	}()
 	serial := SerialAt(tick.Time)
 	state := zonemd.StateAt(tick.Time)
 	key := zoneKey{serial, state, false}
@@ -380,6 +387,7 @@ func (c *Campaign) runWireCheck(tick Tick) error {
 	}
 	res := battery.Run(rss.ServiceAddr{Letter: "a", Family: topology.IPv4}, "wirecheck.local")
 	c.WireQueries += res.Queries
+	mWireQueries.Add(int64(res.Queries))
 	if len(res.Failures) > 0 && len(c.WireFailures) < 100 {
 		for _, f := range res.Failures {
 			c.WireFailures = append(c.WireFailures, fmt.Sprintf("%s: %s", tick.Time.Format(time.RFC3339), f))
@@ -535,6 +543,10 @@ func (c *Campaign) classifyFault(tick Tick, vpIdx int, target rss.ServiceAddr, r
 // once per campaign no matter how many workers ask.
 func (c *Campaign) signedZone(serial uint32, state zonemd.RolloutState, signTime time.Time, stale bool) (*zone.Zone, error) {
 	return c.signedZones.get(zoneKey{serial, state, stale}, func() (*zone.Zone, error) {
+		// Build-once span: each zone version is signed exactly once per
+		// campaign, so this stage appears once per serial in a trace.
+		span := telemetry.StartSpan("worker", "sign", -1, 0)
+		defer span.End()
 		baseZone := c.World.BaseZone
 		if zone.SerialCompare(serial, 2023112700) < 0 {
 			baseZone = c.World.BaseZonePre
@@ -564,6 +576,8 @@ func (c *Campaign) validate(serial uint32, state zonemd.RolloutState, fault faul
 }
 
 func (c *Campaign) validateUncached(serial uint32, state zonemd.RolloutState, fault faults.Kind, now, vpNow time.Time, stale *StaleWindow, flipOut *faults.Bitflip) valResult {
+	span := telemetry.StartSpan("worker", "validate", -1, 0)
+	defer span.End()
 	signTime := SerialPublishedAt(now)
 	zstale := false
 	if fault == faults.StaleZone && stale != nil {

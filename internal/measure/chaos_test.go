@@ -20,6 +20,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/geo"
 	"repro/internal/measure"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
 )
@@ -132,6 +133,7 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 
 	// Uninterrupted reference (checkpointing on: seal boundaries are part
 	// of the byte stream).
+	telemetry.Reset()
 	refCfg := chaosConfig()
 	refCfg.Workers = 1
 	refCfg.CheckpointPath = filepath.Join(dir, "ref.ckpt")
@@ -144,6 +146,10 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Stream-class counter state an uninterrupted run ends with; every
+	// kill/resume cycle below must reconstruct exactly these totals from the
+	// checkpoint.
+	refTel := telemetry.CheckpointState()
 
 	kills := []struct{ name, spec string }{
 		// SIGKILL at a tick boundary, after two checkpoints have landed.
@@ -161,6 +167,7 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		for _, kill := range kills {
 			t.Run(kill.name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				telemetry.Reset()
 				cfg := chaosConfig()
 				cfg.Workers = workers
 				base := strings.ReplaceAll(t.Name(), "/", "_")
@@ -173,6 +180,9 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 				failpoint.Disable()
 				if !errors.Is(runErr, failpoint.ErrKilled) {
 					t.Fatalf("run error = %v, want ErrKilled", runErr)
+				}
+				if got := telemetry.Snapshot(telemetry.ScopeAll); !firedAtLeastOneKill(got) {
+					t.Error("failpoint kill did not move failpoint/fired and failpoint/kills")
 				}
 				killed, err := os.ReadFile(dataPath)
 				if err != nil {
@@ -192,9 +202,30 @@ func TestChaosKillResumeMatrix(t *testing.T) {
 				if resumed.WireQueries != refCampaign.WireQueries {
 					t.Errorf("wire accumulator after resume = %d, want %d", resumed.WireQueries, refCampaign.WireQueries)
 				}
+				// Counter reconstruction: the killed run polluted the stream
+				// counters past the checkpoint; the resume must have restored
+				// them and finished with the uninterrupted run's exact totals.
+				if gotTel := telemetry.CheckpointState(); !bytes.Equal(gotTel, refTel) {
+					t.Errorf("stream counters after kill/resume differ from uninterrupted run:\nwant %s\ngot  %s", refTel, gotTel)
+				}
 			})
 		}
 	}
+}
+
+// firedAtLeastOneKill checks the failpoint firing counters in a snapshot:
+// a simulated kill must increment both failpoint/fired and failpoint/kills.
+func firedAtLeastOneKill(snap []telemetry.MetricValue) bool {
+	fired, kills := int64(0), int64(0)
+	for _, mv := range snap {
+		switch mv.Name {
+		case "failpoint/fired":
+			fired = mv.Value
+		case "failpoint/kills":
+			kills = mv.Value
+		}
+	}
+	return fired >= 1 && kills >= 1
 }
 
 // TestSealErrorRetriedWithinBudget injects a one-shot dataset write error at
@@ -212,6 +243,7 @@ func TestSealErrorRetriedWithinBudget(t *testing.T) {
 	}
 	refBytes, _ := os.ReadFile(refData)
 
+	telemetry.Reset()
 	cfg := chaosConfig()
 	cfg.CheckpointPath = filepath.Join(dir, "chaos.ckpt")
 	cfg.ErrorBudget = 1
@@ -226,6 +258,24 @@ func TestSealErrorRetriedWithinBudget(t *testing.T) {
 	}
 	if stats := c.Degraded(); stats.WriteErrors != 1 || stats.Total() != 1 {
 		t.Errorf("degraded stats = %+v, want exactly one write error", stats)
+	}
+	// A non-kill firing moves failpoint/fired but not failpoint/kills, and
+	// the salvaged outcome lands in campaign/degraded.
+	for _, mv := range telemetry.Snapshot(telemetry.ScopeAll) {
+		switch mv.Name {
+		case "failpoint/fired":
+			if mv.Value != 1 {
+				t.Errorf("failpoint/fired = %d, want 1", mv.Value)
+			}
+		case "failpoint/kills":
+			if mv.Value != 0 {
+				t.Errorf("failpoint/kills = %d, want 0", mv.Value)
+			}
+		case "campaign/degraded":
+			if mv.Value != 1 {
+				t.Errorf("campaign/degraded = %d, want 1", mv.Value)
+			}
+		}
 	}
 	got, _ := os.ReadFile(dataPath)
 	if !bytes.Equal(got, refBytes) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/telemetry"
 )
 
 // Checkpoint/restore: the campaign is a pure function of (seed, config) per
@@ -48,6 +49,11 @@ type Checkpoint struct {
 	// Handlers carries one opaque resume blob per Checkpointable handler,
 	// in handler order (JSON base64-encodes the bytes).
 	Handlers [][]byte `json:"handlers,omitempty"`
+	// Telemetry carries the stream-class counter snapshot
+	// (telemetry.CheckpointState) so a resumed run reconstructs counters
+	// instead of restarting them from zero. Absent in pre-telemetry
+	// checkpoints; restore treats that as all-zeros.
+	Telemetry []byte `json:"telemetry,omitempty"`
 }
 
 // Checkpointable is implemented by handlers with durable output (the
@@ -146,6 +152,13 @@ func (c *Campaign) loadResume(nticks int) (int, error) {
 	}
 	c.WireQueries = cp.WireQueries
 	c.WireFailures = append([]string(nil), cp.WireFailures...)
+	// Overwrite stream-class counters with the checkpointed totals so the
+	// resumed process reports the same cumulative counts an uninterrupted
+	// run would. Process-class counters (caches, failpoints) deliberately
+	// start over: they describe this process, not the event stream.
+	if err := telemetry.RestoreState(cp.Telemetry); err != nil {
+		return 0, fmt.Errorf("measure: checkpoint %s: %w", c.Cfg.CheckpointPath, err)
+	}
 	return cp.TickPos, nil
 }
 
@@ -156,6 +169,10 @@ func (c *Campaign) loadResume(nticks int) (int, error) {
 // propagates immediately, skipping the checkpoint write as a real SIGKILL
 // would.
 func (c *Campaign) saveCheckpoint(handlers []Handler, pos, total int) error {
+	timer := telemetry.StartTimer()
+	defer timer.ObserveInto(mCheckpointDur)
+	span := telemetry.StartSpan("campaign", "checkpoint", pos-1, 0)
+	defer span.End()
 	var states [][]byte
 	for _, h := range handlers {
 		cs, ok := h.(Checkpointable)
@@ -176,6 +193,12 @@ func (c *Campaign) saveCheckpoint(handlers []Handler, pos, total int) error {
 		}
 		states = append(states, blob)
 	}
+	// Count the checkpoint BEFORE capturing counter state so the snapshot
+	// includes itself: an uninterrupted run's campaign/checkpoints total then
+	// equals the resumed run's (restored N, plus one per later checkpoint),
+	// keeping the counter stream-class under kills.
+	mCheckpoints.Inc()
+	telState := telemetry.CheckpointState()
 	// Chaos kill-point between sealing the dataset and writing the
 	// checkpoint: resume must tolerate sealed-but-uncheckpointed blocks by
 	// truncating back to the recorded offset.
@@ -190,6 +213,7 @@ func (c *Campaign) saveCheckpoint(handlers []Handler, pos, total int) error {
 		WireQueries:  c.WireQueries,
 		WireFailures: c.WireFailures,
 		Handlers:     states,
+		Telemetry:    telState,
 	}
 	if err := cp.writeAtomic(c.Cfg.CheckpointPath); err != nil {
 		if aerr := c.noteDegraded(degWriteError, fmt.Sprintf("checkpoint write at tick %d: %v", pos, err)); aerr != nil {

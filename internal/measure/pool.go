@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/rss"
+	"repro/internal/telemetry"
 	"repro/internal/vantage"
 )
 
@@ -87,6 +88,7 @@ func (c *Campaign) Run(handlers ...Handler) error {
 		}
 		startPos = pos
 	}
+	mWorkers.Set(int64(workers))
 	shards := make([]vpShard, nVPs)
 	for ti := startPos; ti < len(ticks); ti++ {
 		// Chaos kill-point at the tick boundary: a kill here simulates
@@ -95,35 +97,44 @@ func (c *Campaign) Run(handlers ...Handler) error {
 			return err
 		}
 		tick := ticks[ti]
+		tickTimer := telemetry.StartTimer()
+		tickSpan := telemetry.StartSpan("campaign", "tick", tick.Index, 0)
 		if c.Cfg.WireCheck {
 			if err := c.runWireCheck(tick); err != nil {
 				return err
 			}
 		}
+		// The queue-depth gauge counts VP shards still owed to the tick; a
+		// live /metrics poll watches it fall from nVPs to 0 as workers drain
+		// the index counter.
+		mQueueDepth.Set(int64(nVPs))
 		if workers <= 1 {
 			for i := 0; i < nVPs; i++ {
-				c.collectVP(tick, i, targets, &shards[i])
+				c.collectVP(tick, i, targets, &shards[i], 0)
 			}
 		} else {
 			var next atomic.Int64
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				go func() {
+				go func(w int) {
 					defer wg.Done()
 					for {
 						i := int(next.Add(1)) - 1
 						if i >= nVPs {
 							return
 						}
-						c.collectVP(tick, i, targets, &shards[i])
+						c.collectVP(tick, i, targets, &shards[i], w)
 					}
-				}()
+				}(w)
 			}
 			wg.Wait()
 		}
+		drainSpan := telemetry.StartSpan("campaign", "record", tick.Index, 0)
 		for i := range shards {
-			for _, p := range shards[i].pairs {
+			for pi := range shards[i].pairs {
+				p := &shards[i].pairs[pi]
+				recordPairMetrics(p)
 				for _, h := range handlers {
 					h.HandleProbe(p.probe)
 				}
@@ -134,6 +145,10 @@ func (c *Campaign) Run(handlers ...Handler) error {
 				}
 			}
 		}
+		drainSpan.End()
+		mTicks.Inc()
+		tickSpan.End()
+		tickTimer.ObserveInto(mTickDur)
 		// The tick is fully drained before the budget verdict, so an abort
 		// never leaves a handler with a partial tick.
 		if err := c.budgetAbort(); err != nil {
@@ -149,14 +164,18 @@ func (c *Campaign) Run(handlers ...Handler) error {
 }
 
 // collectVP computes one VP's full probe+transfer battery for the tick into
-// out, preserving the serial engine's per-target event order.
-func (c *Campaign) collectVP(tick Tick, vpIdx int, targets []rss.ServiceAddr, out *vpShard) {
+// out, preserving the serial engine's per-target event order. wid is the
+// computing worker's index: pair counts shard by it (contention-free, and
+// the sum is worker-count-independent), and spans lane by it.
+func (c *Campaign) collectVP(tick Tick, vpIdx int, targets []rss.ServiceAddr, out *vpShard, wid int) {
 	out.pairs = out.pairs[:0]
 	vp := &c.World.Population.VPs[vpIdx]
 	axfr := !tick.Time.Before(AXFRStart)
 	for tIdx, target := range targets {
-		out.pairs = append(out.pairs, c.collectPair(tick, vp, vpIdx, tIdx, target, axfr))
+		out.pairs = append(out.pairs, c.collectPair(tick, vp, vpIdx, tIdx, target, axfr, wid))
+		mPairs.ShardInc(wid)
 	}
+	mQueueDepth.Add(-1)
 }
 
 // collectPair computes one (tick, VP, target) pair under supervision. A
@@ -164,7 +183,7 @@ func (c *Campaign) collectVP(tick Tick, vpIdx int, targets []rss.ServiceAddr, ou
 // error is converted in place. Both yield Lost+Degraded events for the
 // stages they spoiled (a transfer-stage fault keeps the good probe) and
 // count against the error budget.
-func (c *Campaign) collectPair(tick Tick, vp *vantage.VP, vpIdx, tIdx int, target rss.ServiceAddr, axfr bool) (pair eventPair) {
+func (c *Campaign) collectPair(tick Tick, vp *vantage.VP, vpIdx, tIdx int, target rss.ServiceAddr, axfr bool, wid int) (pair eventPair) {
 	stage := "probe"
 	defer func() {
 		if r := recover(); r != nil {
@@ -193,7 +212,11 @@ func (c *Campaign) collectPair(tick Tick, vp *vantage.VP, vpIdx, tIdx int, targe
 		}
 		return pair
 	}
+	probeTimer := telemetry.StartTimer()
+	probeSpan := telemetry.StartSpan("worker", "probe", tick.Index, wid)
 	pe, route, ok := c.probe(tick, vp, vpIdx, tIdx, target)
+	probeSpan.End()
+	probeTimer.ObserveInto(mProbeDur)
 	pair.probe = pe
 	if !axfr {
 		return pair
@@ -206,7 +229,11 @@ func (c *Campaign) collectPair(tick Tick, vp *vantage.VP, vpIdx, tIdx int, targe
 		pair.hasTransfer = true
 		return pair
 	}
+	transferTimer := telemetry.StartTimer()
+	transferSpan := telemetry.StartSpan("worker", "transfer", tick.Index, wid)
 	pair.transfer = c.transfer(tick, vp, vpIdx, tIdx, target, route, ok && !pe.Lost)
+	transferSpan.End()
+	transferTimer.ObserveInto(mTransferDur)
 	pair.hasTransfer = true
 	return pair
 }

@@ -33,12 +33,12 @@ const (
 const maxDegradedSamples = 8
 
 type degradedState struct {
-	mu                           sync.Mutex
-	probePanics, transferPanics  int
-	probeErrors, transferErrors  int
-	writeErrors                  int
-	samples                      []string
-	abort                        error
+	mu                          sync.Mutex
+	probePanics, transferPanics int
+	probeErrors, transferErrors int
+	writeErrors                 int
+	samples                     []string
+	abort                       error
 }
 
 // DegradedStats reports the campaign's supervisor-salvaged outcomes.
@@ -67,12 +67,12 @@ func (c *Campaign) Degraded() DegradedStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return DegradedStats{
-		ProbePanics:     d.probePanics,
-		TransferPanics:  d.transferPanics,
-		ProbeErrors:     d.probeErrors,
-		TransferErrors:  d.transferErrors,
-		WriteErrors:     d.writeErrors,
-		Samples:         append([]string(nil), d.samples...),
+		ProbePanics:    d.probePanics,
+		TransferPanics: d.transferPanics,
+		ProbeErrors:    d.probeErrors,
+		TransferErrors: d.transferErrors,
+		WriteErrors:    d.writeErrors,
+		Samples:        append([]string(nil), d.samples...),
 	}
 }
 
@@ -99,6 +99,7 @@ func (c *Campaign) noteDegraded(kind degKind, desc string) error {
 	if len(d.samples) < maxDegradedSamples {
 		d.samples = append(d.samples, desc)
 	}
+	mDegraded.Inc()
 	total := d.probePanics + d.transferPanics + d.probeErrors + d.transferErrors + d.writeErrors
 	if budget := c.Cfg.ErrorBudget; budget >= 0 && total > budget && d.abort == nil {
 		d.abort = fmt.Errorf(

@@ -1,0 +1,130 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryCampaignConfig is the shared shape for telemetry determinism
+// tests: a short window with transfers active and wire checks on, so every
+// logical counter family (probes, transfers, caches, wire queries) moves.
+// 2023-10-02 22:00 covers a planned clock-skew window, whose faulted
+// transfers are the ones that route through the validation cache (bitflips
+// bypass it and clean transfers are valid by construction).
+func telemetryCampaignConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Start = time.Date(2023, 10, 2, 22, 0, 0, 0, time.UTC)
+	cfg.End = cfg.Start.Add(2 * time.Hour)
+	cfg.Scale = 1
+	cfg.TLDCount = 15
+	cfg.WireCheck = true
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestTelemetrySnapshotIdenticalAcrossWorkers is the tentpole determinism
+// pin: the logical metric snapshot (stream + process classes, volatile
+// excluded) must be byte-identical at 1, 4, and 8 workers. Sharded counters
+// sum commutatively and cache hit/miss splits are fixed by single-flight, so
+// the bytes cannot depend on scheduling.
+func TestTelemetrySnapshotIdenticalAcrossWorkers(t *testing.T) {
+	w := testWorld(t)
+	run := func(workers int) []byte {
+		telemetry.Reset()
+		if err := NewCampaign(telemetryCampaignConfig(workers), w).Run(&collector{}); err != nil {
+			t.Fatal(err)
+		}
+		return telemetry.MarshalLogical()
+	}
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !bytes.Equal(got, ref) {
+			t.Errorf("logical snapshot at %d workers differs from serial:\nserial: %s\ngot:    %s",
+				workers, ref, got)
+		}
+	}
+	// The reference must actually have counted: a regression that stops
+	// instrumenting would pass the comparison with all-zeros.
+	var metrics []telemetry.MetricValue
+	if err := json.Unmarshal(ref, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"campaign/ticks": false, "campaign/pairs": false, "campaign/probes": false,
+		"campaign/transfers": false, "campaign/wire_queries": false,
+		"cache/zone/misses": false, "cache/validation/misses": false,
+		"cache/battery/misses": false, "dns/queries": false,
+	}
+	for _, mv := range metrics {
+		if _, tracked := want[mv.Name]; tracked && mv.Value > 0 {
+			want[mv.Name] = true
+		}
+	}
+	for name, moved := range want {
+		if !moved {
+			t.Errorf("metric %s stayed zero over a full campaign", name)
+		}
+	}
+}
+
+// metricsPoller polls a live /metrics endpoint from inside the campaign's
+// handler path — i.e. while the campaign is running — and records the
+// campaign/pairs value it observed.
+type metricsPoller struct {
+	t    *testing.T
+	url  string
+	once sync.Once
+	seen int64
+}
+
+func (p *metricsPoller) HandleProbe(ProbeEvent) {
+	p.once.Do(func() {
+		resp, err := http.Get(p.url + "/metrics")
+		if err != nil {
+			p.t.Errorf("live /metrics poll: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Metrics []telemetry.MetricValue `json:"metrics"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			p.t.Errorf("live /metrics decode: %v", err)
+			return
+		}
+		for _, mv := range out.Metrics {
+			if mv.Name == "campaign/pairs" {
+				p.seen = mv.Value
+			}
+		}
+	})
+}
+
+func (p *metricsPoller) HandleTransfer(TransferEvent) {}
+
+// TestTelemetryLiveMetricsDuringCampaign pins the introspection contract:
+// an HTTP client hitting /metrics mid-campaign sees counters in flight. The
+// poll runs from the first drained probe, when the first tick's pairs have
+// all been computed but the campaign is far from done.
+func TestTelemetryLiveMetricsDuringCampaign(t *testing.T) {
+	telemetry.Reset()
+	w := testWorld(t)
+	srv := httptest.NewServer(telemetry.Handler())
+	defer srv.Close()
+	poller := &metricsPoller{t: t, url: srv.URL}
+	cfg := telemetryCampaignConfig(4)
+	cfg.WireCheck = false
+	if err := NewCampaign(cfg, w).Run(poller); err != nil {
+		t.Fatal(err)
+	}
+	if poller.seen <= 0 {
+		t.Fatalf("live /metrics served campaign/pairs = %d during the campaign, want > 0", poller.seen)
+	}
+}

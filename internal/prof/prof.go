@@ -12,14 +12,17 @@ import (
 )
 
 var (
-	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
-	memprofile = flag.String("memprofile", "", "write a heap profile to `file` on exit")
+	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
+	blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to `file` on exit")
+	mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to `file` on exit")
 )
 
-// Start begins CPU profiling if -cpuprofile was given. The returned stop
-// function must run before the process exits: it flushes the CPU profile
-// and, if -memprofile was given, writes a post-GC heap snapshot. Call it
-// after flag.Parse.
+// Start begins CPU profiling if -cpuprofile was given, and arms the runtime's
+// block/mutex samplers if -blockprofile or -mutexprofile were. The returned
+// stop function must run before the process exits: it flushes the CPU profile
+// and writes the heap, block, and mutex snapshots that were requested. Call
+// it after flag.Parse.
 func Start() (stop func(), err error) {
 	var cpuFile *os.File
 	if *cpuprofile != "" {
@@ -31,6 +34,15 @@ func Start() (stop func(), err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("start CPU profile: %w", err)
 		}
+	}
+	// Sampling every event (rate 1) is the right trade for campaign-scale
+	// runs: contention on the worker pool's shared caches is rare enough that
+	// sparser sampling would miss it entirely.
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	return func() {
 		if cpuFile != nil {
@@ -49,5 +61,28 @@ func Start() (stop func(), err error) {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			}
 		}
+		writeLookup("block", *blockprofile)
+		writeLookup("mutex", *mutexprofile)
 	}, nil
+}
+
+// writeLookup dumps the named runtime/pprof profile to path, if requested.
+func writeLookup(name, path string) {
+	if path == "" {
+		return
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: no such profile\n", name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+	}
 }

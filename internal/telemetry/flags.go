@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+// CLI wiring, mirroring internal/prof: the CLIs call RegisterFlags before
+// flag.Parse and Start after it, deferring the returned stop. Registration
+// is explicit (not import-time) so library consumers of telemetry never grow
+// surprise flags.
+
+var (
+	metricsOut    *string
+	traceOut      *string
+	telemetryAddr *string
+)
+
+// RegisterFlags installs -metrics, -trace, and -telemetry-addr on the
+// default flag set. Safe to call once per process, before flag.Parse.
+func RegisterFlags() {
+	if metricsOut != nil {
+		return
+	}
+	metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot to `file` on exit")
+	traceOut = flag.String("trace", "", "record stage spans and write a Chrome trace_event JSON to `file` on exit")
+	telemetryAddr = flag.String("telemetry-addr", "", "serve live /metrics JSON and /debug/pprof on `host:port`")
+}
+
+// Start applies the registered flags: any of them enables the wall-clock
+// layer, -trace turns on span recording, and -telemetry-addr starts the
+// introspection listener. The returned stop writes the -metrics and -trace
+// files, prints the summary table to stderr, and shuts the listener down;
+// call it exactly once, before process exit. With no flags set (or
+// RegisterFlags never called) both Start and stop are no-ops.
+func Start() (stop func(), err error) {
+	metrics, trace, addr := "", "", ""
+	if metricsOut != nil {
+		metrics, trace, addr = *metricsOut, *traceOut, *telemetryAddr
+	}
+	if metrics == "" && trace == "" && addr == "" {
+		return func() {}, nil
+	}
+	SetEnabled(true)
+	if trace != "" {
+		EnableTracing(0)
+	}
+	var ln net.Listener
+	if addr != "" {
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+		}
+		srv := &http.Server{Handler: Handler()}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+	}
+	return func() {
+		if ln != nil {
+			ln.Close()
+		}
+		if metrics != "" {
+			if err := writeFileWith(metrics, func(f *os.File) error { return WriteJSON(f, ScopeAll) }); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: metrics: %v\n", err)
+			}
+		}
+		if trace != "" {
+			if err := writeFileWith(trace, WriteTraceTo); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: trace: %v\n", err)
+			}
+		}
+		WriteSummary(os.Stderr)
+	}, nil
+}
+
+// WriteTraceTo adapts WriteTrace to the writeFileWith shape.
+func WriteTraceTo(f *os.File) error { return WriteTrace(f) }
+
+// writeFileWith creates path and runs write against it.
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves live introspection for a running process:
+//
+//	/metrics        expvar-style JSON snapshot of every registered metric
+//	/debug/pprof/*  the standard net/http/pprof endpoints
+//	/               a plain-text index
+//
+// The handler reads the same sharded metrics the campaign writes, so a
+// long-running rootmeasure or rootserve can be inspected mid-flight without
+// perturbing its output.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteJSON(w, ScopeAll); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "telemetry endpoints:\n  /metrics\n  /debug/pprof/\n")
+	})
+	return mux
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Measure the telemetry layer's overhead on the campaign engine: run the
+# BenchmarkCampaignWorkers{1,4,8} pairs with telemetry off (counters only,
+# the always-on sharded path) and fully on (wall-clock histogram timers as a
+# `-metrics` run would have), and record ns/op plus overhead percent into
+# BENCH_PR5.json. The acceptance budget is <= 3% overhead with telemetry on.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR5.json
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkCampaignWorkers(Telemetry)?[148]$' \
+	-benchtime 2x .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk '
+$1 ~ /^BenchmarkCampaignWorkers/ && $0 ~ /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns[name] = $i
+}
+END {
+	print "{"
+	print "  \"note\": \"off = plain BenchmarkCampaignWorkersN; on = BenchmarkCampaignWorkersTelemetryN (SetEnabled, wall-clock timers live); budget: overhead_pct <= 3\","
+	print "  \"results\": ["
+	n = split("1 4 8", w, " ")
+	for (i = 1; i <= n; i++) {
+		off = ns["BenchmarkCampaignWorkers" w[i]]
+		on = ns["BenchmarkCampaignWorkersTelemetry" w[i]]
+		pct = (off > 0) ? sprintf("%.2f", (on - off) * 100.0 / off) : "null"
+		printf "    {\"workers\": %s, \"off\": {\"ns_op\": %s}, \"on\": {\"ns_op\": %s}, \"overhead_pct\": %s}%s\n",
+			w[i], off, on, pct, (i < n ? "," : "")
+	}
+	print "  ]"
+	print "}"
+}' >"$out"
+
+echo "wrote $out" >&2

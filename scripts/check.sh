@@ -10,9 +10,16 @@ go vet ./...
 
 # rootlint runs before the fuzz smoke: a determinism or hot-path violation
 # is cheaper to surface than a fuzz crash, and the suite doubles as a type
-# check of the whole tree.
+# check of the whole tree. The suite includes metricname, which cross-checks
+# every telemetry constructor call site against the static registry.
 echo "== rootlint =="
 go run ./cmd/rootlint ./...
+
+# Telemetry under the race detector: many writers hammer every metric kind
+# and the span ring while readers snapshot and checkpoint concurrently, so a
+# data race in the sharded design fails CI rather than a campaign.
+echo "== telemetry race stress =="
+go test -race -count=1 -run 'TestTelemetryStressConcurrent' ./internal/telemetry
 
 # Short fuzz smoke: each dnswire fuzz target gets a few seconds of
 # coverage-guided input on top of its seed corpus. Crashes fail the step.
