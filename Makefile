@@ -32,12 +32,14 @@ check:
 
 # Regenerate the reproduction report via the benchmark harness, then record
 # the telemetry layer's on/off overhead on the campaign engine (budget <=3%)
-# into BENCH_PR5.json.
+# into BENCH_PR5.json and the serve path's loopback throughput (rootblast
+# B-Root mix, cache on/off) into BENCH_SERVE.json.
 # BENCH_SCALE overrides schedule thinning (smaller = higher fidelity, slower).
 # -benchmem keeps allocs/op visible so fast-path regressions are caught.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
 	sh scripts/bench_telemetry.sh
+	sh scripts/bench_serve.sh
 
 report:
 	$(GO) run ./cmd/rootstudy -quick

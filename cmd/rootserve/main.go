@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rootserve [-addr 127.0.0.1:5353] [-tlds 120] [-hostname id] [-no-axfr]
+//	          [-serve-workers N] [-no-cache] [-cache-bytes N]
 //	          [-metrics out.json] [-telemetry-addr host:port]
 package main
 
@@ -30,6 +31,9 @@ func main() {
 	version := flag.String("version", "repro-rootserve-1.0", "CHAOS version.bind answer")
 	noAXFR := flag.Bool("no-axfr", false, "refuse zone transfers")
 	useRSA := flag.Bool("rsa", false, "sign with RSA/SHA-256 (algorithm 8, like the real root) instead of ECDSA-P256")
+	serveWorkers := flag.Int("serve-workers", 0, "UDP read loops (SO_REUSEPORT sockets on linux); 0 = GOMAXPROCS")
+	noCache := flag.Bool("no-cache", false, "disable the response cache (every query takes the full lookup path)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes; 0 = 8 MiB default")
 	telemetry.RegisterFlags()
 	flag.Parse()
 
@@ -62,10 +66,13 @@ func main() {
 	}
 
 	srv, err := dnsserver.New(dnsserver.Config{
-		Zone:       z,
-		ExtraZones: []*zone.Zone{zone.SynthesizeRootServersNet(cfg.Serial, false)},
-		Identity:   dnsserver.Identity{Hostname: *hostname, Version: *version},
-		AllowAXFR:  !*noAXFR,
+		Zone:         z,
+		ExtraZones:   []*zone.Zone{zone.SynthesizeRootServersNet(cfg.Serial, false)},
+		Identity:     dnsserver.Identity{Hostname: *hostname, Version: *version},
+		AllowAXFR:    !*noAXFR,
+		ServeWorkers: *serveWorkers,
+		DisableCache: *noCache,
+		CacheBytes:   *cacheBytes,
 	})
 	if err != nil {
 		fatal(err)

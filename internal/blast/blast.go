@@ -1,0 +1,465 @@
+// Package blast is the rootblast load engine: a seeded query-composition
+// generator reproducing the B-Root traffic mix ("Understanding DNS Query
+// Composition at B-Root": A/AAAA ratios, junk queries for nonexistent TLDs,
+// heavy-hitter skew, DNSSEC DO-bit ratio), driven through pipelined
+// connected UDP sockets in the style of ZDNS: N independent socket workers,
+// each keeping a window of outstanding queries in flight and matching
+// responses by message ID, with latency observations riding the telemetry
+// layer's power-of-two histograms.
+//
+// The generator is deterministic: the same (Mix, seed, tlds, size) always
+// yields the same query corpus, so two benchmark runs offer the server an
+// identical workload. Only the timing side (RTT observations, counts at a
+// wall-clock deadline) is nondeterministic, and every metric it touches is
+// volatile-class.
+package blast
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// Mix describes the query composition offered to the server. Type fractions
+// (AAAA, NS, DS, DNSKEY, SOA) are of all queries; the remainder are type A.
+// Junk is the fraction of A/AAAA qnames that name a nonexistent TLD. DO is
+// the fraction of queries sent with EDNS0 and the DO bit; of those,
+// EDNS4096 advertise 4096 bytes and the rest 1232. Skew is the Zipf-like
+// exponent of the heavy-hitter distribution over existing TLDs (0 =
+// uniform; 1 ~ the B-Root study's skew, where a handful of TLDs dominate).
+type Mix struct {
+	AAAA     float64
+	NS       float64
+	DS       float64
+	DNSKEY   float64
+	SOA      float64
+	Junk     float64
+	DO       float64
+	EDNS4096 float64
+	Skew     float64
+}
+
+// DefaultMix approximates the composition measured at B-Root: mostly A with
+// a substantial AAAA share, a long tail of junk queries for TLDs that do
+// not exist (NXDOMAIN is a root server's single most common answer), a
+// heavy-hitter skew where a few TLDs absorb most existing-name traffic, and
+// a large majority of queries arriving with EDNS0 and the DO bit set.
+func DefaultMix() Mix {
+	return Mix{
+		AAAA:     0.18,
+		NS:       0.03,
+		DS:       0.04,
+		DNSKEY:   0.01,
+		SOA:      0.01,
+		Junk:     0.45,
+		DO:       0.72,
+		EDNS4096: 0.35,
+		Skew:     1.0,
+	}
+}
+
+// Corpus is a pregenerated set of packed query wires (message ID zero; the
+// runner patches a fresh ID into each send). Pregeneration keeps the send
+// loop allocation-free and makes the offered workload a pure function of
+// the generator inputs.
+type Corpus struct {
+	wires [][]byte
+}
+
+// Len returns the number of distinct queries in the corpus.
+func (c *Corpus) Len() int { return len(c.wires) }
+
+// Wire returns the i-th packed query. The slice is shared; callers must
+// copy before patching the ID.
+func (c *Corpus) Wire(i int) []byte { return c.wires[i] }
+
+// splitmix64 is the repo's standard allocation-free seeded generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a tiny seeded stream over splitmix64.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state = splitmix64(r.state)
+	return r.state
+}
+
+// frac returns a uniform float64 in [0, 1).
+func (r *rng) frac() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// BuildCorpus generates size packed queries sampled from mix over a
+// synthesized root zone with tlds delegations (zone.TLDNames gives the
+// exact delegation set rootserve serves). The corpus is deterministic in
+// (mix, tlds, size, seed).
+func BuildCorpus(mix Mix, tlds, size int, seed uint64) (*Corpus, error) {
+	if size <= 0 {
+		return nil, errors.New("blast: corpus size must be positive")
+	}
+	names := zone.TLDNames(tlds)
+	if len(names) == 0 {
+		return nil, errors.New("blast: no TLDs to query")
+	}
+	// Heavy-hitter skew: cumulative 1/(rank+1)^skew weights over the TLD
+	// list, sampled by linear scan of the cumulative table (the table is
+	// small and this is generation time, not send time).
+	cum := make([]float64, len(names))
+	total := 0.0
+	for i := range names {
+		w := 1.0
+		if mix.Skew > 0 {
+			w = 1.0 / math.Pow(float64(i+1), mix.Skew)
+		}
+		total += w
+		cum[i] = total
+	}
+	pickTLD := func(r *rng) dnswire.Name {
+		x := r.frac() * total
+		for i, c := range cum {
+			if x <= c {
+				return names[i]
+			}
+		}
+		return names[len(names)-1]
+	}
+
+	r := &rng{state: seed ^ 0xb1a57}
+	wires := make([][]byte, 0, size)
+	for i := 0; i < size; i++ {
+		var qname dnswire.Name
+		var qtype dnswire.Type
+		switch t := r.frac(); {
+		case t < mix.AAAA:
+			qtype = dnswire.TypeAAAA
+		case t < mix.AAAA+mix.NS:
+			qtype = dnswire.TypeNS
+		case t < mix.AAAA+mix.NS+mix.DS:
+			qtype = dnswire.TypeDS
+		case t < mix.AAAA+mix.NS+mix.DS+mix.DNSKEY:
+			qtype = dnswire.TypeDNSKEY
+		case t < mix.AAAA+mix.NS+mix.DS+mix.DNSKEY+mix.SOA:
+			qtype = dnswire.TypeSOA
+		default:
+			qtype = dnswire.TypeA
+		}
+		switch qtype {
+		case dnswire.TypeA, dnswire.TypeAAAA:
+			if r.frac() < mix.Junk {
+				// Nonexistent TLD: a junk label that cannot collide with
+				// the synthesized delegations.
+				qname = dnswire.Name(fmt.Sprintf("junk-%012x.", r.next()&0xffffffffffff))
+			} else {
+				// Resolution traffic: a name under a delegated TLD, drawing
+				// the TLD from the heavy-hitter distribution.
+				qname = dnswire.Name(fmt.Sprintf("www%d.%s", r.next()&0x3f, pickTLD(r)))
+			}
+		case dnswire.TypeNS, dnswire.TypeDS:
+			qname = pickTLD(r)
+		default: // DNSKEY, SOA: apex maintenance traffic
+			qname = dnswire.Root
+		}
+		q := dnswire.NewQuery(0, qname, qtype)
+		if r.frac() < mix.DO {
+			udpSize := uint16(1232)
+			if r.frac() < mix.EDNS4096 {
+				udpSize = 4096
+			}
+			q.WithEDNS(udpSize, true)
+		}
+		wire, err := q.Pack()
+		if err != nil {
+			return nil, fmt.Errorf("blast: packing corpus query %d: %w", i, err)
+		}
+		wires = append(wires, wire)
+	}
+	return &Corpus{wires: wires}, nil
+}
+
+// Config configures one load run.
+type Config struct {
+	// Addr is the target server's host:port (UDP).
+	Addr string
+	// Workers is the number of independent sockets, each with its own send
+	// loop and outstanding window. 0 means 1.
+	Workers int
+	// Window is the number of outstanding (pipelined) queries per socket.
+	// 0 means 64.
+	Window int
+	// Duration bounds the run in wall time. 0 means Count must be set.
+	Duration time.Duration
+	// Count, when non-zero, caps the total queries sent across workers.
+	Count int64
+	// Timeout is how long an outstanding query may go unanswered before it
+	// is reaped (and how long a drain read blocks). 0 means 250ms.
+	Timeout time.Duration
+	// Corpus is the offered workload; required.
+	Corpus *Corpus
+}
+
+// Result is one run's report. Quantiles are read from the telemetry RTT
+// histogram's bucket distribution.
+type Result struct {
+	Sent       int64         `json:"sent"`
+	Received   int64         `json:"received"`
+	Timeouts   int64         `json:"timeouts"`
+	Mismatches int64         `json:"mismatches"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	QPS        float64       `json:"qps"`
+	P50us      int64         `json:"p50_us"`
+	P90us      int64         `json:"p90_us"`
+	P99us      int64         `json:"p99_us"`
+}
+
+// String renders the one-line human report.
+func (r *Result) String() string {
+	return fmt.Sprintf("sent=%d received=%d timeouts=%d mismatches=%d elapsed=%s qps=%.0f p50=%dus p90=%dus p99=%dus",
+		r.Sent, r.Received, r.Timeouts, r.Mismatches,
+		r.Elapsed.Round(time.Millisecond), r.QPS, r.P50us, r.P90us, r.P99us)
+}
+
+// Run drives the configured load against cfg.Addr and aggregates the
+// per-worker tallies. The RTT distribution lands in the telemetry histogram
+// wallclock/blast_rtt_us (cumulative across runs in one process; tests
+// reset telemetry between runs).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Corpus == nil || cfg.Corpus.Len() == 0 {
+		return nil, errors.New("blast: empty corpus")
+	}
+	if cfg.Duration <= 0 && cfg.Count <= 0 {
+		return nil, errors.New("blast: need a duration or a query count")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 64
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("blast: resolve %q: %w", cfg.Addr, err)
+	}
+
+	perWorkerCount := int64(0)
+	if cfg.Count > 0 {
+		perWorkerCount = (cfg.Count + int64(workers) - 1) / int64(workers)
+	}
+	//rootlint:allow wallclock: load generation is wall-clock by nature; RTTs and deadlines never feed measurement results
+	start := time.Now()
+	ws := make([]worker, workers)
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		w := &ws[i]
+		w.corpus = cfg.Corpus
+		w.window = window
+		w.duration = cfg.Duration
+		w.count = perWorkerCount
+		w.timeoutNs = timeout.Nanoseconds()
+		w.timeout = timeout
+		// Stagger corpus offsets so N workers collectively offer the mix.
+		w.ci = (i * cfg.Corpus.Len()) / workers
+		w.idCtr = uint32(splitmix64(uint64(i)*0x9e37 + 1))
+		go func() { errs <- w.run(raddr) }()
+	}
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	//rootlint:allow wallclock: load generation is wall-clock by nature
+	elapsed := time.Since(start)
+
+	res := &Result{Elapsed: elapsed}
+	for i := range ws {
+		res.Sent += ws[i].sent
+		res.Received += ws[i].received
+		res.Timeouts += ws[i].timeouts
+		res.Mismatches += ws[i].mismatches
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.QPS = float64(res.Received) / secs
+	}
+	res.P50us = mRTT.Quantile(0.50)
+	res.P90us = mRTT.Quantile(0.90)
+	res.P99us = mRTT.Quantile(0.99)
+	mSent.Add(res.Sent)
+	mReceived.Add(res.Received)
+	mTimeouts.Add(res.Timeouts)
+	mMismatches.Add(res.Mismatches)
+	return res, nil
+}
+
+// worker is one pipelined socket loop's state. Tallies are written only by
+// the owning goroutine and read by Run after the errs barrier.
+type worker struct {
+	corpus    *Corpus
+	window    int
+	duration  time.Duration
+	count     int64 // per-worker send budget; 0 = unbounded
+	timeout   time.Duration
+	timeoutNs int64
+
+	conn    *net.UDPConn
+	sendBuf []byte
+	recvBuf []byte
+	// pending[id] is the send time (UnixNano) of the outstanding query with
+	// that message ID, 0 when none. The ring holds outstanding IDs in send
+	// order; it is larger than the window so out-of-order completions never
+	// wedge the head against a still-pending tail.
+	pending     []int64
+	ring        []uint16
+	head, tail  int
+	outstanding int
+	ci          int // corpus cursor
+	idCtr       uint32
+
+	sent, received, timeouts, mismatches int64
+}
+
+// reap advances the ring tail past completed entries and expires entries
+// older than the timeout; it stops at the first young, still-pending entry.
+//
+//rootlint:hotpath
+func (w *worker) reap(nowNs int64) {
+	for w.tail != w.head {
+		id := w.ring[w.tail]
+		t0 := w.pending[id]
+		if t0 != 0 && nowNs-t0 < w.timeoutNs {
+			return
+		}
+		if t0 != 0 {
+			w.pending[id] = 0
+			w.outstanding--
+			w.timeouts++
+		}
+		w.tail = (w.tail + 1) % len(w.ring)
+	}
+}
+
+// fill tops the outstanding window up with fresh sends until the window,
+// the deadline, or the send budget stops it.
+//
+//rootlint:hotpath
+func (w *worker) fill(nowNs, deadlineNs int64) error {
+	for w.outstanding < w.window && nowNs < deadlineNs &&
+		(w.count <= 0 || w.sent < w.count) {
+		if (w.head+1)%len(w.ring) == w.tail {
+			w.reap(nowNs)
+			if (w.head+1)%len(w.ring) == w.tail {
+				return nil // ring blocked on a young pending tail; drain first
+			}
+		}
+		wire := w.corpus.wires[w.ci]
+		w.ci++
+		if w.ci == len(w.corpus.wires) {
+			w.ci = 0
+		}
+		id := uint16(w.idCtr)
+		w.idCtr++
+		if w.pending[id] != 0 {
+			return nil // ID still in flight after a full wrap; drain first
+		}
+		w.sendBuf = append(w.sendBuf[:0], wire...)
+		w.sendBuf[0], w.sendBuf[1] = byte(id>>8), byte(id)
+		if _, err := w.conn.Write(w.sendBuf); err != nil {
+			return err
+		}
+		w.pending[id] = nowNs
+		w.ring[w.head] = id
+		w.head = (w.head + 1) % len(w.ring)
+		w.outstanding++
+		w.sent++
+	}
+	return nil
+}
+
+// run is the worker loop: fill the window, drain one response, repeat; on a
+// read timeout, reap expired outstanding entries. The steady state
+// allocates nothing — buffers, the per-ID timestamp table, and the ring are
+// reused across packets.
+//
+//rootlint:hotpath
+func (w *worker) run(raddr *net.UDPAddr) error {
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w.conn = conn
+	w.sendBuf = make([]byte, 0, 512)
+	w.recvBuf = make([]byte, 64*1024)
+	w.pending = make([]int64, 1<<16)
+	w.ring = make([]uint16, 4*w.window)
+
+	//rootlint:allow wallclock: load generation deadline
+	deadlineNs := time.Now().Add(w.duration).UnixNano()
+	if w.duration <= 0 {
+		deadlineNs = 1<<63 - 1
+	}
+	for {
+		//rootlint:allow wallclock: pipelined send/receive pacing
+		nowNs := time.Now().UnixNano()
+		if w.outstanding == 0 && (nowNs >= deadlineNs || (w.count > 0 && w.sent >= w.count)) {
+			return nil
+		}
+		if err := w.fill(nowNs, deadlineNs); err != nil {
+			return err
+		}
+		if w.outstanding == 0 {
+			continue
+		}
+		//rootlint:allow wallclock: socket read deadline
+		if err := w.conn.SetReadDeadline(time.Now().Add(w.timeout)); err != nil {
+			return err
+		}
+		n, err := w.conn.Read(w.recvBuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				//rootlint:allow wallclock: reaping stale outstanding queries
+				w.reap(time.Now().UnixNano())
+				continue
+			}
+			return err
+		}
+		if n < 2 {
+			w.mismatches++
+			continue
+		}
+		id := binary.BigEndian.Uint16(w.recvBuf)
+		t0 := w.pending[id]
+		if t0 == 0 {
+			w.mismatches++
+			continue
+		}
+		w.pending[id] = 0
+		w.outstanding--
+		w.received++
+		//rootlint:allow wallclock: RTT observation is the tool's output
+		mRTT.Observe((time.Now().UnixNano() - t0) / 1000)
+		// Compact completed entries off the ring tail.
+		for w.tail != w.head && w.pending[w.ring[w.tail]] == 0 {
+			w.tail = (w.tail + 1) % len(w.ring)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package blast_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blast"
+	"repro/internal/dnssec"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/telemetry"
+	"repro/internal/zone"
+	"repro/internal/zonemd"
+)
+
+// TestBuildCorpusDeterministic pins that corpus generation is a pure
+// function of (mix, tlds, size, seed): two builds are byte-identical, and a
+// different seed diverges.
+func TestBuildCorpusDeterministic(t *testing.T) {
+	mix := blast.DefaultMix()
+	a, err := blast.BuildCorpus(mix, 50, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := blast.BuildCorpus(mix, 50, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 256 || b.Len() != 256 {
+		t.Fatalf("corpus sizes: %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !bytes.Equal(a.Wire(i), b.Wire(i)) {
+			t.Fatalf("wire %d differs between same-seed builds", i)
+		}
+	}
+	c, err := blast.BuildCorpus(mix, 50, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < a.Len(); i++ {
+		if bytes.Equal(a.Wire(i), c.Wire(i)) {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// TestCorpusWiresAreQueries decodes every generated wire and sanity-checks
+// the composition knobs: all parseable queries, some junk TLDs, some AAAA,
+// some DO bits.
+func TestCorpusWiresAreQueries(t *testing.T) {
+	corpus, err := blast.BuildCorpus(blast.DefaultMix(), 50, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aaaa, do int
+	for i := 0; i < corpus.Len(); i++ {
+		msg, err := dnswire.Unpack(corpus.Wire(i))
+		if err != nil {
+			t.Fatalf("wire %d unparseable: %v", i, err)
+		}
+		if msg.Header.Response || len(msg.Questions) != 1 {
+			t.Fatalf("wire %d is not a single-question query", i)
+		}
+		if msg.Questions[0].Type == dnswire.TypeAAAA {
+			aaaa++
+		}
+		if opt, ok := msg.EDNS(); ok && opt.Do {
+			do++
+		}
+	}
+	if aaaa == 0 {
+		t.Error("no AAAA queries in a default-mix corpus")
+	}
+	if do == 0 {
+		t.Error("no DO-bit queries in a default-mix corpus")
+	}
+}
+
+// TestRunAgainstServer is the end-to-end smoke test: a small blast against
+// a loopback dnsserver must deliver every query and report sane latency
+// quantiles from the telemetry histogram.
+func TestRunAgainstServer(t *testing.T) {
+	telemetry.Reset()
+	signer, err := dnssec.NewSigner(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := zone.DefaultRootConfig()
+	cfg.TLDCount = 20
+	when := time.Date(2023, 12, 10, 12, 0, 0, 0, time.UTC)
+	signed, err := signer.Sign(zone.SynthesizeRoot(cfg), when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := zonemd.AttachAndSign(signed, signer, zonemd.StateVerifiable, when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnsserver.New(dnsserver.Config{Zone: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+	corpus, err := blast.BuildCorpus(blast.DefaultMix(), 20, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blast.Run(blast.Config{
+		Addr:    addr.String(),
+		Workers: 2,
+		Window:  16,
+		Count:   500,
+		Timeout: 2 * time.Second,
+		Corpus:  corpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 500 {
+		t.Errorf("sent %d queries, want 500", res.Sent)
+	}
+	if res.Received+res.Timeouts != res.Sent {
+		t.Errorf("received %d + timeouts %d != sent %d", res.Received, res.Timeouts, res.Sent)
+	}
+	if res.Received == 0 {
+		t.Fatal("no responses received from loopback server")
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d ID mismatches", res.Mismatches)
+	}
+	if res.P50us == 0 || res.P99us < res.P50us {
+		t.Errorf("implausible quantiles: p50=%dus p99=%dus", res.P50us, res.P99us)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("qps = %f", res.QPS)
+	}
+}

@@ -1,0 +1,15 @@
+package blast
+
+import "repro/internal/telemetry"
+
+// All blast metrics are volatile-class: a load generator's counts are a
+// function of wall-clock run length and packet timing, never of the
+// deterministic event stream. The RTT histogram is the first consumer of the
+// telemetry layer's per-bucket distributions (Quantile/BucketCounts).
+var (
+	mSent       = telemetry.NewCounter("blast/sent")
+	mReceived   = telemetry.NewCounter("blast/received")
+	mTimeouts   = telemetry.NewCounter("blast/timeouts")
+	mMismatches = telemetry.NewCounter("blast/mismatches")
+	mRTT        = telemetry.NewHistogram("wallclock/blast_rtt_us")
+)

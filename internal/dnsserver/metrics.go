@@ -5,8 +5,12 @@ import "repro/internal/telemetry"
 // dns/queries is stream-class: the campaign's wire-check battery issues a
 // deterministic query sequence per tick, serially, so the total is a pure
 // function of the schedule. Query latency is wall-clock and only records
-// behind the telemetry enable gate.
+// behind the telemetry enable gate. The cache counters are volatile-class:
+// hit/miss splits depend on packet arrival order across UDP shards.
 var (
-	mQueries  = telemetry.NewCounter("dns/queries")
-	mQueryDur = telemetry.NewHistogram("wallclock/dns_query_us")
+	mQueries        = telemetry.NewCounter("dns/queries")
+	mQueryDur       = telemetry.NewHistogram("wallclock/dns_query_us")
+	mCacheHits      = telemetry.NewCounter("dns/cache/hits")
+	mCacheMisses    = telemetry.NewCounter("dns/cache/misses")
+	mCacheEvictions = telemetry.NewCounter("dns/cache/evictions")
 )

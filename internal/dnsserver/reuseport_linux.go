@@ -1,0 +1,37 @@
+//go:build linux
+
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, which the stdlib syscall package does not
+// export on linux (and golang.org/x/sys is outside this repo's stdlib-only
+// dependency budget).
+const soReusePort = 0xf
+
+// listenUDPReusePort opens a UDP socket with SO_REUSEPORT set before bind,
+// so N independent sockets can share one address and the kernel shards
+// incoming datagrams between them by flow hash — one read loop per socket
+// with no cross-loop contention.
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package dnsserver
+
+import (
+	"errors"
+	"net"
+)
+
+// listenUDPReusePort reports SO_REUSEPORT as unavailable; Start falls back
+// to N read loops sharing one socket (the runtime serializes reads on the
+// fd, so throughput matches a single loop but correctness is identical).
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errors.New("dnsserver: SO_REUSEPORT unsupported on this platform")
+}

@@ -1,0 +1,211 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+
+	"repro/internal/dnswire"
+)
+
+// udpHeaderLen is the fixed DNS header size.
+const udpHeaderLen = 12
+
+// queryShape is the result of the zero-alloc fast parse of one datagram:
+// enough to build a cache key without decoding the message. ok is false for
+// anything the fast parser does not recognize (compression pointers in the
+// question, multiple questions, trailing bytes, non-OPT additionals), which
+// routes the datagram down the full decode path uncached.
+type queryShape struct {
+	qEnd    int // offset just past the question section
+	hasEDNS bool
+	do      bool
+	adv     uint16 // client's advertised EDNS payload size
+	ok      bool
+}
+
+// parseQueryShape validates the fixed header, walks the single question
+// name, and decodes a trailing OPT record, all without allocating.
+//
+//rootlint:hotpath
+func parseQueryShape(pkt []byte) (sh queryShape) {
+	if len(pkt) < udpHeaderLen+5 { // header + root name + type + class
+		return
+	}
+	flags := uint16(pkt[2])<<8 | uint16(pkt[3])
+	if flags&0x8000 != 0 || (flags>>11)&0xF != 0 { // response, or not QUERY
+		return
+	}
+	qd := int(pkt[4])<<8 | int(pkt[5])
+	an := int(pkt[6])<<8 | int(pkt[7])
+	ns := int(pkt[8])<<8 | int(pkt[9])
+	ar := int(pkt[10])<<8 | int(pkt[11])
+	if qd != 1 || an != 0 || ns != 0 || ar > 1 {
+		return
+	}
+	off := udpHeaderLen
+	nameLen := 0
+	for {
+		if off >= len(pkt) {
+			return
+		}
+		l := int(pkt[off])
+		if l == 0 {
+			off++
+			break
+		}
+		if l > dnswire.MaxLabelLen { // compression pointer or junk
+			return
+		}
+		nameLen += l + 1
+		if nameLen+1 > dnswire.MaxNameLen {
+			return
+		}
+		off += 1 + l
+	}
+	if off+4 > len(pkt) {
+		return
+	}
+	off += 4 // qtype + qclass
+	sh.qEnd = off
+	switch {
+	case ar == 1:
+		// OPT pseudo-record: root owner (1), TYPE (2), CLASS=payload size
+		// (2), TTL with the DO bit (4), RDLEN (2), then RDATA.
+		if off+11 > len(pkt) || pkt[off] != 0 {
+			return
+		}
+		typ := dnswire.Type(uint16(pkt[off+1])<<8 | uint16(pkt[off+2]))
+		if typ != dnswire.TypeOPT {
+			return
+		}
+		sh.adv = uint16(pkt[off+3])<<8 | uint16(pkt[off+4])
+		sh.do = pkt[off+7]&0x80 != 0 // bit 15 of the 32-bit TTL field
+		rdlen := int(pkt[off+9])<<8 | int(pkt[off+10])
+		if off+11+rdlen != len(pkt) {
+			return
+		}
+		sh.hasEDNS = true
+	case off != len(pkt): // trailing bytes: let the full decoder judge
+		return
+	}
+	sh.ok = true
+	return
+}
+
+// bucketLimit maps the effective UDP payload limit (server floor vs. client
+// advertisement) onto the bucket set {512, 1232, 4096}. Bucketing keeps the
+// cache key space small and guarantees the cached and uncached paths apply
+// the same truncation threshold for any advertised size.
+func (s *Server) bucketLimit(hasEDNS bool, adv uint16) int {
+	limit := s.cfg.UDPSize
+	if hasEDNS && int(adv) > limit {
+		limit = int(adv)
+	}
+	switch {
+	case limit >= 4096:
+		return 4096
+	case limit >= 1232:
+		return 1232
+	default:
+		return dnswire.MaxUDPPayload
+	}
+}
+
+// bucketByte encodes every response-relevant EDNS fact into one cache-key
+// octet: the size bucket, EDNS presence (the response echoes an OPT), and
+// the DO bit (the response carries DNSSEC proofs).
+func (s *Server) bucketByte(sh queryShape) byte {
+	var b byte
+	switch s.bucketLimit(sh.hasEDNS, sh.adv) {
+	case 4096:
+		b = 2
+	case 1232:
+		b = 1
+	}
+	if sh.hasEDNS {
+		b |= 4
+	}
+	if sh.do {
+		b |= 8
+	}
+	return b
+}
+
+// serveUDPLoop is one shard's read loop. All buffers are reused across
+// iterations; a cache hit answers with zero allocations (the map lookup via
+// string(keyBuf) does not allocate, and the netip read/write paths are
+// alloc-free).
+//
+//rootlint:hotpath
+func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
+	defer s.wg.Done()
+	readBuf := make([]byte, 64*1024)
+	respBuf := make([]byte, 0, 4096)
+	keyBuf := make([]byte, 0, dnswire.MaxNameLen+8)
+	for {
+		n, raddr, err := conn.ReadFromUDPAddrPort(readBuf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		pkt := readBuf[:n]
+		sh := parseQueryShape(pkt)
+		st := s.state.Load()
+		cacheable := sh.ok && st.cache != nil
+		if cacheable {
+			// Key = raw question bytes (case preserved, so a hit is
+			// byte-identical to what the slow path produced) + EDNS bucket.
+			keyBuf = append(keyBuf[:0], pkt[udpHeaderLen:sh.qEnd]...)
+			keyBuf = append(keyBuf, s.bucketByte(sh))
+			if wire := st.cache.get(keyBuf); wire != nil {
+				mQueries.ShardInc(shard)
+				mCacheHits.ShardInc(shard)
+				respBuf = append(respBuf[:0], wire...)
+				respBuf[0], respBuf[1] = pkt[0], pkt[1] // patch in the query ID
+				_, _ = conn.WriteToUDPAddrPort(respBuf, raddr)
+				continue
+			}
+			mCacheMisses.ShardInc(shard)
+		}
+		respBuf = s.serveUDPSlow(conn, st, pkt, raddr, respBuf, keyBuf, cacheable)
+	}
+}
+
+// serveUDPSlow is the allocating miss path: full decode, Handle, pack into
+// the reusable response buffer, truncate to the bucketed limit, and insert
+// the final bytes into the response cache when the fast parser recognized
+// the query (so the next identical query is a zero-alloc hit).
+func (s *Server) serveUDPSlow(conn *net.UDPConn, st *serveState, pkt []byte, raddr netip.AddrPort, respBuf, key []byte, cacheable bool) []byte {
+	query, err := dnswire.Unpack(pkt)
+	if err != nil {
+		return respBuf // unparseable datagrams are dropped, like real servers
+	}
+	resp := s.handleState(st, query, false)
+	if resp == nil {
+		return respBuf
+	}
+	limit := s.bucketLimit(false, 0)
+	if opt, ok := query.EDNS(); ok {
+		limit = s.bucketLimit(true, opt.UDPSize)
+	}
+	respBuf, err = resp.AppendPack(respBuf[:0])
+	if err != nil {
+		return respBuf
+	}
+	if len(respBuf) > limit {
+		tc := &dnswire.Message{Header: resp.Header, Questions: resp.Questions}
+		tc.Header.Truncated = true
+		if respBuf, err = tc.AppendPack(respBuf[:0]); err != nil {
+			return respBuf
+		}
+	}
+	if cacheable {
+		st.cache.put(key, respBuf)
+	}
+	_, _ = conn.WriteToUDPAddrPort(respBuf, raddr)
+	return respBuf
+}

@@ -4,6 +4,12 @@
 // (hostname.bind, id.server, version.bind, version.server), truncation with
 // TCP fallback, and AXFR. Each simulated root server instance in the study
 // can be backed by one of these, and the examples run them on loopback.
+//
+// The UDP path is built for line rate: N read loops on SO_REUSEPORT-sharded
+// sockets (or N loops sharing one socket where unsupported), a zero-alloc
+// fast path answering repeat queries from a response cache keyed by the raw
+// question bytes, and an atomically swapped zone pointer so queries never
+// take a lock. See serve_udp.go and cache.go.
 package dnsserver
 
 import (
@@ -11,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/axfr"
 	"repro/internal/dnswire"
@@ -43,17 +51,38 @@ type Config struct {
 	// AllowAXFR enables zone transfers on the TCP listener.
 	AllowAXFR bool
 	// UDPSize caps UDP responses; larger answers set TC. Defaults to 512
-	// without EDNS, or the client's advertised size.
+	// without EDNS, or the client's advertised size. Effective limits are
+	// floored to the bucket set {512, 1232, 4096} so the cached and uncached
+	// paths truncate identically (see bucketLimit).
 	UDPSize int
+	// ServeWorkers is the number of UDP read loops. On Linux each loop owns
+	// its own SO_REUSEPORT socket and the kernel shards datagrams between
+	// them; elsewhere the loops share one socket. 0 means GOMAXPROCS.
+	ServeWorkers int
+	// DisableCache turns the response cache off, forcing every query down
+	// the full decode/lookup/pack path (ablation and benchmarks).
+	DisableCache bool
+	// CacheBytes bounds the response cache; 0 means the 8 MiB default.
+	CacheBytes int64
 }
 
-// Server is an authoritative DNS server bound to one UDP and one TCP socket.
+// serveState is everything a query touches that SetZone replaces: the zone
+// and the response cache built over it. Swapping the whole struct through
+// one atomic pointer makes zone replacement and cache invalidation a single
+// indivisible step — a query that loaded the old state answers (and caches)
+// consistently from the old zone, and no query ever sees a new zone with a
+// stale cache.
+type serveState struct {
+	zone  *zone.Zone
+	cache *respCache // nil when the cache is disabled
+}
+
+// Server is an authoritative DNS server bound to UDP and TCP sockets.
 type Server struct {
 	cfg Config
 
-	mu      sync.RWMutex
-	zone    *zone.Zone
-	udp     *net.UDPConn
+	state   atomic.Pointer[serveState]
+	udps    []*net.UDPConn
 	tcp     net.Listener
 	wg      sync.WaitGroup
 	closed  chan struct{}
@@ -71,26 +100,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.UDPSize == 0 {
 		cfg.UDPSize = dnswire.MaxUDPPayload
 	}
-	return &Server{cfg: cfg, zone: cfg.Zone, closed: make(chan struct{})}, nil
+	s := &Server{cfg: cfg, closed: make(chan struct{})}
+	s.state.Store(s.makeState(cfg.Zone))
+	return s, nil
 }
 
-// SetZone atomically replaces the served zone (zone updates mid-study).
+// makeState builds a serveState for z with a fresh (empty) response cache.
+func (s *Server) makeState(z *zone.Zone) *serveState {
+	st := &serveState{zone: z}
+	if !s.cfg.DisableCache {
+		st.cache = newRespCache(s.cfg.CacheBytes)
+	}
+	return st
+}
+
+// SetZone atomically replaces the served zone (zone updates mid-study). The
+// swap installs a fresh response cache, so no answer computed from the old
+// zone can be served afterwards.
 func (s *Server) SetZone(z *zone.Zone) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.zone = z
+	s.state.Store(s.makeState(z))
 }
 
 // Zone returns the currently served primary zone.
 func (s *Server) Zone() *zone.Zone {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.zone
+	return s.state.Load().zone
 }
 
-// zoneFor returns the authoritative zone for name: the configured zone
-// (primary or extra) with the longest apex that name falls under, or nil.
-func (s *Server) zoneFor(name dnswire.Name) *zone.Zone {
+// zoneFor returns the authoritative zone for name: the zone (primary or
+// extra) with the longest apex that name falls under, or nil.
+func (s *Server) zoneFor(primary *zone.Zone, name dnswire.Name) *zone.Zone {
 	best := (*zone.Zone)(nil)
 	bestLabels := -1
 	consider := func(z *zone.Zone) {
@@ -101,7 +139,7 @@ func (s *Server) zoneFor(name dnswire.Name) *zone.Zone {
 			best, bestLabels = z, n
 		}
 	}
-	consider(s.Zone())
+	consider(primary)
 	for _, z := range s.cfg.ExtraZones {
 		consider(z)
 	}
@@ -114,6 +152,55 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if s.started {
 		return nil, errors.New("dnsserver: already started")
 	}
+	workers := s.cfg.ServeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	udps, err := s.listenShards(addr, workers)
+	if err != nil {
+		return nil, err
+	}
+	tcp, err := net.Listen("tcp", udps[0].LocalAddr().String())
+	if err != nil {
+		for _, c := range udps {
+			c.Close()
+		}
+		return nil, fmt.Errorf("dnsserver: listen tcp: %w", err)
+	}
+	s.udps, s.tcp = udps, tcp
+	s.started = true
+	s.wg.Add(workers + 1)
+	for i := 0; i < workers; i++ {
+		go s.serveUDPLoop(s.udps[i%len(s.udps)], i)
+	}
+	go s.serveTCP()
+	return udps[0].LocalAddr(), nil
+}
+
+// listenShards opens the UDP sockets for `workers` read loops: one
+// SO_REUSEPORT socket per loop where the platform supports it, otherwise a
+// single socket all loops share.
+func (s *Server) listenShards(addr string, workers int) ([]*net.UDPConn, error) {
+	if workers > 1 {
+		if first, err := listenUDPReusePort(addr); err == nil {
+			udps := []*net.UDPConn{first}
+			// Re-bind the concrete address so every shard lands on the port
+			// the first socket picked (addr may have been ":0").
+			bound := first.LocalAddr().String()
+			for i := 1; i < workers; i++ {
+				conn, err := listenUDPReusePort(bound)
+				if err != nil {
+					for _, c := range udps {
+						c.Close()
+					}
+					return nil, fmt.Errorf("dnsserver: listen udp shard %d: %w", i, err)
+				}
+				udps = append(udps, conn)
+			}
+			return udps, nil
+		}
+		// SO_REUSEPORT unavailable: fall through to one shared socket.
+	}
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: resolve %q: %w", addr, err)
@@ -122,17 +209,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: listen udp: %w", err)
 	}
-	tcp, err := net.Listen("tcp", udp.LocalAddr().String())
-	if err != nil {
-		udp.Close()
-		return nil, fmt.Errorf("dnsserver: listen tcp: %w", err)
-	}
-	s.udp, s.tcp = udp, tcp
-	s.started = true
-	s.wg.Add(2)
-	go s.serveUDP()
-	go s.serveTCP()
-	return udp.LocalAddr(), nil
+	return []*net.UDPConn{udp}, nil
 }
 
 // Close stops the listeners and waits for in-flight handlers.
@@ -141,50 +218,12 @@ func (s *Server) Close() error {
 		return nil
 	}
 	close(s.closed)
-	s.udp.Close()
+	for _, c := range s.udps {
+		c.Close()
+	}
 	s.tcp.Close()
 	s.wg.Wait()
 	return nil
-}
-
-func (s *Server) serveUDP() {
-	defer s.wg.Done()
-	buf := make([]byte, 64*1024)
-	for {
-		n, raddr, err := s.udp.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				continue
-			}
-		}
-		query, err := dnswire.Unpack(buf[:n])
-		if err != nil {
-			continue // unparseable datagrams are dropped, like real servers
-		}
-		resp := s.Handle(query, false)
-		if resp == nil {
-			continue
-		}
-		limit := s.cfg.UDPSize
-		if opt, ok := query.EDNS(); ok && int(opt.UDPSize) > limit {
-			limit = int(opt.UDPSize)
-		}
-		wire, err := resp.Pack()
-		if err != nil {
-			continue
-		}
-		if len(wire) > limit {
-			tc := &dnswire.Message{Header: resp.Header, Questions: resp.Questions}
-			tc.Header.Truncated = true
-			if wire, err = tc.Pack(); err != nil {
-				continue
-			}
-		}
-		_, _ = s.udp.WriteToUDP(wire, raddr)
-	}
 }
 
 func (s *Server) serveTCP() {
@@ -237,6 +276,12 @@ func (s *Server) serveConn(conn net.Conn) {
 // only valid over TCP and handled by the caller). A nil return means "drop".
 // Exported so in-process simulations can query a server without sockets.
 func (s *Server) Handle(query *dnswire.Message, tcp bool) *dnswire.Message {
+	return s.handleState(s.state.Load(), query, tcp)
+}
+
+// handleState is Handle pinned to one serveState, so the UDP miss path
+// answers from the same zone whose cache it populates.
+func (s *Server) handleState(st *serveState, query *dnswire.Message, tcp bool) *dnswire.Message {
 	if query.Header.Response || len(query.Questions) != 1 {
 		return nil
 	}
@@ -273,7 +318,7 @@ func (s *Server) Handle(query *dnswire.Message, tcp bool) *dnswire.Message {
 			}
 			return resp
 		}
-		s.answerINET(resp, q, query)
+		s.answerINET(st, resp, q, query)
 	default:
 		resp.Header.Rcode = dnswire.RcodeRefused
 	}
@@ -311,8 +356,8 @@ func (s *Server) answerChaos(resp *dnswire.Message, q dnswire.Question) {
 // answerINET answers class-IN queries from the best-matching authoritative
 // zone: authoritative data at or above the apex cut, referrals for
 // delegated names, NXDOMAIN otherwise.
-func (s *Server) answerINET(resp *dnswire.Message, q dnswire.Question, query *dnswire.Message) {
-	z := s.zoneFor(q.Name)
+func (s *Server) answerINET(st *serveState, resp *dnswire.Message, q dnswire.Question, query *dnswire.Message) {
+	z := s.zoneFor(st.zone, q.Name)
 	if z == nil {
 		resp.Header.Rcode = dnswire.RcodeRefused
 		return

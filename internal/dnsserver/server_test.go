@@ -15,7 +15,7 @@ import (
 var studyTime = time.Date(2023, 12, 10, 12, 0, 0, 0, time.UTC)
 
 // startServer returns a running server on loopback and a matching client.
-func startServer(t *testing.T, cfg Config) (*Server, *dnsclient.Client) {
+func startServer(t testing.TB, cfg Config) (*Server, *dnsclient.Client) {
 	t.Helper()
 	s, err := New(cfg)
 	if err != nil {
@@ -31,7 +31,7 @@ func startServer(t *testing.T, cfg Config) (*Server, *dnsclient.Client) {
 	return s, c
 }
 
-func signedRootZone(t *testing.T, tlds int) (*zone.Zone, *dnssec.Signer) {
+func signedRootZone(t testing.TB, tlds int) (*zone.Zone, *dnssec.Signer) {
 	t.Helper()
 	cfg := zone.DefaultRootConfig()
 	cfg.TLDCount = tlds

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -188,8 +189,18 @@ func parseDir(fset *token.FileSet, dir string) (*rawPackage, error) {
 		return nil, err
 	}
 	rp := &rawPackage{imports: make(map[string]bool)}
+	buildCtx := build.Default
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH file
+		// suffixes) for the host platform, exactly as the compiler would —
+		// otherwise platform-variant files (e.g. reuseport_linux.go and its
+		// !linux fallback) type-check as duplicate declarations.
+		if match, err := buildCtx.MatchFile(dir, e.Name()); err != nil {
+			return nil, err
+		} else if !match {
 			continue
 		}
 		full := filepath.Join(dir, e.Name())

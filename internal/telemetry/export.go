@@ -65,11 +65,7 @@ func Snapshot(scope Scope) []MetricValue {
 			case *Histogram:
 				mv.Count = v.Count()
 				mv.Sum = v.Sum()
-				for b := range v.buckets {
-					if n := v.buckets[b].Load(); n > 0 {
-						mv.Buckets = append(mv.Buckets, [2]int64{bucketUpper(b), n})
-					}
-				}
+				mv.Buckets = v.BucketCounts()
 			}
 		}
 		out = append(out, mv)
@@ -101,8 +97,9 @@ func MarshalLogical() []byte {
 }
 
 // WriteSummary prints the end-of-run text table: every metric with a
-// non-zero value, histograms with count/mean/max-bucket. CLIs print it to
-// stderr when telemetry is enabled so it never mixes into report output.
+// non-zero value, histograms with count/mean and the p50/p99 bucket
+// estimates. CLIs print it to stderr when telemetry is enabled so it never
+// mixes into report output.
 func WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "== telemetry ==\n")
 	for _, mv := range Snapshot(ScopeAll) {
@@ -112,8 +109,9 @@ func WriteSummary(w io.Writer) {
 			if n := len(mv.Buckets); n > 0 {
 				maxUpper = mv.Buckets[n-1][0]
 			}
-			fmt.Fprintf(w, "%-32s count=%d mean=%dus max<%dus\n",
-				mv.Name, mv.Count, mv.Sum/mv.Count, maxUpper)
+			fmt.Fprintf(w, "%-32s count=%d mean=%dus p50=%dus p99=%dus max<%dus\n",
+				mv.Name, mv.Count, mv.Sum/mv.Count,
+				QuantileFromBuckets(mv.Buckets, 0.5), QuantileFromBuckets(mv.Buckets, 0.99), maxUpper)
 		case mv.Kind != "histogram" && mv.Value != 0:
 			fmt.Fprintf(w, "%-32s %d\n", mv.Name, mv.Value)
 		}

@@ -119,6 +119,66 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum reports the observation total.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// BucketCounts returns the non-empty buckets as [upper-bound, count] pairs
+// with power-of-two exclusive upper bounds, in ascending order — the same
+// shape Snapshot exports, so in-process consumers (rootblast's latency
+// report) and readers of the JSON snapshot compute identical quantiles.
+func (h *Histogram) BucketCounts() [][2]int64 {
+	var out [][2]int64
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, [2]int64{bucketUpper(i), n})
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution. See QuantileFromBuckets for the estimation contract.
+func (h *Histogram) Quantile(q float64) int64 {
+	return QuantileFromBuckets(h.BucketCounts(), q)
+}
+
+// QuantileFromBuckets estimates the q-quantile of a power-of-two bucket
+// distribution in Snapshot/BucketCounts form: the bucket holding the q-th
+// ranked observation is located by cumulative count, and the estimate
+// interpolates linearly between the bucket's bounds ([upper/2, upper), with
+// bucket 1 holding only zeros). Resolution is therefore a factor of two in
+// the worst case — adequate for latency reporting, where the buckets are
+// microseconds. Returns 0 when the distribution is empty.
+func QuantileFromBuckets(buckets [][2]int64, q float64) int64 {
+	var total int64
+	for _, b := range buckets {
+		total += b[1]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for _, b := range buckets {
+		upper, n := b[0], b[1]
+		if cum+float64(n) < rank {
+			cum += float64(n)
+			continue
+		}
+		lower := upper / 2
+		if upper == 1 {
+			lower = 0
+		}
+		frac := (rank - cum) / float64(n)
+		return lower + int64(frac*float64(upper-lower))
+	}
+	last := buckets[len(buckets)-1][0]
+	return last
+}
+
 func (h *Histogram) reset() {
 	h.count.Store(0)
 	h.sum.Store(0)

@@ -123,9 +123,19 @@ var Registry = []Def{
 	{Name: "failpoint/kills", Kind: KindCounter, Class: ClassProcess, Help: "failpoint sites fired with a kill action"},
 	{Name: "campaign/queue_depth", Kind: KindGauge, Class: ClassProcess, Help: "VP shards remaining in the in-flight tick"},
 
-	// Nondeterministic namespace: environment facts and wall-clock
-	// durations. Only recorded while telemetry is enabled.
+	// Nondeterministic namespace: environment facts, wall-clock durations,
+	// and socket-serving counts whose values depend on packet arrival order
+	// across shards. Histograms are only recorded while telemetry is
+	// enabled; the serve/blast counters are always live (one atomic add).
 	{Name: "process/workers", Kind: KindGauge, Class: ClassVolatile, Help: "resolved campaign worker count"},
+	{Name: "dns/cache/hits", Kind: KindCounter, Class: ClassVolatile, Help: "UDP response-cache hits (served from cached wire bytes)"},
+	{Name: "dns/cache/misses", Kind: KindCounter, Class: ClassVolatile, Help: "UDP response-cache misses (responses built and inserted)"},
+	{Name: "dns/cache/evictions", Kind: KindCounter, Class: ClassVolatile, Help: "response-cache entries evicted by the byte budget"},
+	{Name: "blast/sent", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries sent"},
+	{Name: "blast/received", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast responses matched to an outstanding query"},
+	{Name: "blast/timeouts", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries reaped unanswered"},
+	{Name: "blast/mismatches", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast datagrams that matched no outstanding query"},
+	{Name: "wallclock/blast_rtt_us", Kind: KindHistogram, Class: ClassVolatile, Help: "rootblast query round-trip time"},
 	{Name: "wallclock/tick_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per tick (compute + drain)"},
 	{Name: "wallclock/wirecheck_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per wire-check battery"},
 	{Name: "wallclock/probe_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per probe stage"},

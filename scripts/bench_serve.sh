@@ -1,0 +1,56 @@
+#!/bin/sh
+# Measure serve-path throughput with the rootblast B-Root-mix generator and
+# record qps + latency quantiles next to the pre-optimization baseline in
+# BENCH_SERVE.json. The baseline below was captured on this repo immediately
+# before the line-rate serve path (response cache, sharded sockets,
+# zero-alloc fast path) landed: same rootblast harness and defaults
+# (4 workers, window 64, 5s, tlds 120, seed 1) against the old serve loop.
+#
+# Two "after" runs: cache on (the shipping default) and -no-cache (isolates
+# the cache's contribution from the zero-alloc rewrite).
+set -eu
+cd "$(dirname "$0")/.."
+
+# Pre-PR serve loop, measured with this exact harness.
+BEFORE_QPS=3467
+BEFORE_P50=49108
+BEFORE_P99=65287
+
+ADDR=127.0.0.1:5397
+DURATION=${BENCH_SERVE_DURATION:-5s}
+out=BENCH_SERVE.json
+tmp=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/rootserve" ./cmd/rootserve
+go build -o "$tmp/rootblast" ./cmd/rootblast
+
+run_one() { # $1 = extra rootserve flags, $2 = report file
+	# shellcheck disable=SC2086
+	"$tmp/rootserve" -addr "$ADDR" -tlds 120 $1 >"$tmp/serve.log" 2>&1 &
+	SERVE_PID=$!
+	sleep 1
+	"$tmp/rootblast" -server "$ADDR" -duration "$DURATION" -seed 1 \
+		-report "$2" >&2
+	kill $SERVE_PID
+	wait $SERVE_PID 2>/dev/null || true
+}
+
+echo "== serve bench: cache on ==" >&2
+run_one "" "$tmp/cache_on.json"
+echo "== serve bench: cache off ==" >&2
+run_one "-no-cache" "$tmp/cache_off.json"
+
+on_qps=$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' "$tmp/cache_on.json")
+{
+	echo '{'
+	echo '  "note": "before = pre-optimization serve loop, same rootblast harness (4 workers, window 64, tlds 120, seed 1); after captured via scripts/bench_serve.sh",'
+	echo "  \"before\": {\"qps\": $BEFORE_QPS, \"p50_us\": $BEFORE_P50, \"p99_us\": $BEFORE_P99},"
+	printf '  "after_cache_on": '
+	sed 's/^/  /' "$tmp/cache_on.json" | sed '1s/^  //;$s/$/,/'
+	printf '  "after_cache_off": '
+	sed 's/^/  /' "$tmp/cache_off.json" | sed '1s/^  //'
+	echo '}'
+} >"$out"
+
+echo "wrote $out (before ${BEFORE_QPS} qps -> after ${on_qps} qps with cache)" >&2

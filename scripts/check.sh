@@ -21,6 +21,13 @@ go run ./cmd/rootlint ./...
 echo "== telemetry race stress =="
 go test -race -count=1 -run 'TestTelemetryStressConcurrent' ./internal/telemetry
 
+# Serve path under the race detector: concurrent clients hammer a server
+# while SetZone swaps the zone (and response cache) out from under them, and
+# a sharded multi-socket server answers in parallel. Catches races in the
+# atomic state swap and the per-shard buffer reuse.
+echo "== serve-under-load race stress =="
+go test -race -count=1 -run 'TestSetZoneUnderLoad|TestServeWorkersSharded|TestCachedResponseByteIdentity' ./internal/dnsserver
+
 # Short fuzz smoke: each dnswire fuzz target gets a few seconds of
 # coverage-guided input on top of its seed corpus. Crashes fail the step.
 for target in FuzzUnpack FuzzDecodeName; do
