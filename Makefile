@@ -40,6 +40,7 @@ bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
 	sh scripts/bench_telemetry.sh
 	sh scripts/bench_serve.sh
+	sh scripts/bench_replay.sh
 
 report:
 	$(GO) run ./cmd/rootstudy -quick

@@ -352,7 +352,7 @@ func BenchmarkWireUnpack(b *testing.B) {
 	}
 }
 
-func benchSignedZone(b *testing.B, tlds int) (*zone.Zone, *dnssec.Signer) {
+func benchSignedZone(b testing.TB, tlds int) (*zone.Zone, *dnssec.Signer) {
 	b.Helper()
 	signer, err := dnssec.NewSigner(mrand.New(mrand.NewSource(1)))
 	if err != nil {
@@ -426,6 +426,32 @@ func BenchmarkAXFRServeReceive(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := axfr.Receive(&buf, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAXFRServeReceiveLazy is BenchmarkAXFRServeReceive with the
+// receive side on the lazy wire view: ReceiveCompare byte-verifies every
+// record against the zone's canonical sidecar without materializing one
+// decoded RR. The allocs/op delta against the full-decode bench above is
+// the lazy path's whole point (pinned by TestAXFRLazyReceiveAllocs).
+func BenchmarkAXFRServeReceiveLazy(b *testing.B) {
+	z, _ := benchSignedZone(b, 80)
+	q := &dnswire.Message{
+		Header: dnswire.Header{ID: 1},
+		Questions: []dnswire.Question{{
+			Name: dnswire.Root, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET,
+		}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf sliceBuffer
+		if err := axfr.Serve(&buf, z, q); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := axfr.ReceiveCompare(&buf, 1, z); err != nil {
 			b.Fatal(err)
 		}
 	}

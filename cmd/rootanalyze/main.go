@@ -4,8 +4,22 @@
 //
 // Usage:
 //
-//	rootanalyze -in study.rgds [-seed 1] [-vpscale 1]
+//	rootanalyze -in study.rgds [-seed 1] [-vpscale 1] [-workers 4]
+//	            [-checkpoint replay.ckpt [-resume]]
 //	            [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
+//	rootanalyze -diff a.json b.json
+//
+// With -workers > 1 the sealed blocks of the dataset are decoded by a
+// bounded worker pool while an ordered drain keeps every analysis output
+// byte-identical to a serial replay. With -checkpoint the replay is
+// crash-safe: accumulator state is sealed to the sidecar as blocks are
+// delivered, and -resume fast-forwards a restarted replay past the
+// checkpointed blocks after verifying the dataset fingerprint.
+//
+// -diff compares two -metrics snapshots on their logical (deterministic)
+// namespace and prints a one-line verdict: "behavior unchanged" when every
+// stream- and process-class metric matches, "behavior changed" otherwise.
+// Exit status 0 means unchanged, 1 changed, 2 usage or I/O error.
 package main
 
 import (
@@ -26,8 +40,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed used when recording")
 	vpScale := flag.Int("vpscale", 1, "VP population divisor used when recording")
 	tlds := flag.Int("tlds", 80, "TLD count used when recording")
+	workers := flag.Int("workers", 1, "block-decode workers (output is identical at any count)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint sidecar path (enables crash-safe replay)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	diff := flag.Bool("diff", false, "compare two -metrics snapshots: rootanalyze -diff a.json b.json")
 	telemetry.RegisterFlags()
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(flag.Args()))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "rootanalyze: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "rootanalyze: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	stopTel, err := telemetry.Start()
 	if err != nil {
@@ -65,7 +95,13 @@ func main() {
 	rtt := analysis.NewRTT()
 	integrity := analysis.NewIntegrity()
 
-	probes, transfers, err := reader.Replay(coverage, stability, colocation, distance, rtt, integrity)
+	opts := dataset.ReplayOptions{
+		Workers:        *workers,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	probes, transfers, err := reader.ReplayWith(opts,
+		coverage, stability, colocation, distance, rtt, integrity)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,6 +129,35 @@ func main() {
 	integrity.WriteTable2(os.Stdout)
 	fmt.Println()
 	integrity.WriteFigure10(os.Stdout)
+}
+
+// runDiff implements -diff: load two snapshots, compare the logical
+// namespace, print the verdict. Returns the process exit code.
+func runDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "rootanalyze: -diff wants exactly two snapshot files")
+		return 2
+	}
+	a, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootanalyze: %v\n", err)
+		return 2
+	}
+	b, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootanalyze: %v\n", err)
+		return 2
+	}
+	res, err := telemetry.DiffSnapshots(a, b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rootanalyze: %v\n", err)
+		return 2
+	}
+	res.WriteDiff(os.Stdout)
+	if res.Identical() {
+		return 0
+	}
+	return 1
 }
 
 func fatal(err error) {

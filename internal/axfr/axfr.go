@@ -6,6 +6,7 @@
 package axfr
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -69,6 +70,18 @@ func WriteMessage(w io.Writer, m *dnswire.Message) error {
 // pooled: Unpack copies every byte it retains, so the frame can be reused
 // for the next message.
 func ReadMessage(r io.Reader) (*dnswire.Message, error) {
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	wire, err := readFrame(r, bp)
+	if err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(wire)
+}
+
+// readFrame reads one length-prefixed frame into *bp, growing the buffer as
+// needed. The returned slice aliases *bp and is valid until the next read.
+func readFrame(r io.Reader, bp *[]byte) ([]byte, error) {
 	var prefix [2]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -77,8 +90,6 @@ func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 		return nil, err // a clean EOF at a frame boundary stays io.EOF
 	}
 	n := int(binary.BigEndian.Uint16(prefix[:]))
-	bp := framePool.Get().(*[]byte)
-	defer framePool.Put(bp)
 	wire := *bp
 	if cap(wire) < n {
 		wire = make([]byte, 0, n)
@@ -88,7 +99,7 @@ func ReadMessage(r io.Reader) (*dnswire.Message, error) {
 	if _, err := io.ReadFull(r, wire); err != nil {
 		return nil, fmt.Errorf("%w: frame declared %d bytes: %v", ErrTruncatedFrame, n, err)
 	}
-	return dnswire.Unpack(wire)
+	return wire, nil
 }
 
 // ResponseMessages splits z into AXFR response messages answering query id:
@@ -234,4 +245,145 @@ func Receive(r io.Reader, id uint16) (*zone.Zone, error) {
 	z := zone.New(apex)
 	z.Add(records...)
 	return z, nil
+}
+
+// ReceiveLazy reads an AXFR response stream like Receive — same ID, Rcode,
+// and SOA-bracket enforcement, same error classification — but walks the
+// records through the lazy wire view (dnswire.View) instead of decoding
+// them, so no Name strings or RData values are materialized. visit is
+// called once per zone record in stream order (the opening SOA included,
+// the closing SOA excluded); a nil visit just counts. It returns the number
+// of zone records seen.
+func ReceiveLazy(r io.Reader, id uint16, visit func(v *dnswire.View, rr *dnswire.RawRR) error) (int, error) {
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	records := 0
+	soaSeen := 0
+	firstType := dnswire.Type(0)
+	var v dnswire.View
+	var raw dnswire.RawRR
+	for soaSeen < 2 {
+		frame, err := readFrame(r, bp)
+		if err == nil {
+			v, err = dnswire.NewView(frame)
+		}
+		if err != nil {
+			if soaSeen > 0 || records > 0 {
+				// The stream delivered part of the zone and then stopped:
+				// a mid-transfer disconnect, distinct from a dead server.
+				return records, fmt.Errorf("%w after %d records (%v)", ErrTruncatedTransfer, records, err)
+			}
+			return 0, fmt.Errorf("axfr: read: %w", err)
+		}
+		if v.ID() != id {
+			return records, fmt.Errorf("axfr: response ID %d does not match query ID %d", v.ID(), id)
+		}
+		if v.Rcode() == dnswire.RcodeRefused {
+			return records, ErrRefused
+		}
+		if v.Rcode() != dnswire.RcodeNoError {
+			return records, fmt.Errorf("axfr: server returned %s", v.Rcode())
+		}
+		if _, an, _, _ := v.Counts(); an == 0 {
+			return records, ErrEmpty
+		}
+		cur := v.Records()
+		done := false
+		for cur.Next(&raw) {
+			if raw.Section != dnswire.SectionAnswer {
+				break
+			}
+			if raw.Type == dnswire.TypeSOA {
+				soaSeen++
+				if soaSeen == 2 {
+					done = true
+					break
+				}
+			}
+			if records == 0 {
+				firstType = raw.Type
+			}
+			if visit != nil {
+				if err := visit(&v, &raw); err != nil {
+					return records, err
+				}
+			}
+			records++
+		}
+		if err := cur.Err(); err != nil && !done {
+			// A malformed record mid-stream classifies like a cut
+			// connection: Receive hits the same condition as an Unpack
+			// failure inside ReadMessage.
+			if soaSeen > 0 || records > 0 {
+				return records, fmt.Errorf("%w after %d records (%v)", ErrTruncatedTransfer, records, err)
+			}
+			return 0, fmt.Errorf("axfr: read: %w", err)
+		}
+	}
+	if soaSeen != 2 || records == 0 || firstType != dnswire.TypeSOA {
+		return records, ErrNotBracketed
+	}
+	return records, nil
+}
+
+// ReceiveCount reassembles and bracket-checks an AXFR stream without
+// decoding a single record, returning the zone record count — the counting
+// consumer (the battery's transfer-completeness check) on the lazy path.
+func ReceiveCount(r io.Reader, id uint16) (int, error) {
+	return ReceiveLazy(r, id, nil)
+}
+
+// ReceiveCompare reads an AXFR stream and compares every record's
+// canonical wire form byte-for-byte against the reference zone's cached
+// canonical sidecar, in serving stream order (opening SOA first, then
+// non-SOA records in zone order). This is the compare-only consumer for
+// zone diffing: the received transfer is verified against the reference
+// without materializing one decoded record. It returns the number of
+// records compared.
+func ReceiveCompare(r io.Reader, id uint16, ref *zone.Zone) (int, error) {
+	// Mirror ResponseMessages' stream order: the first apex SOA opens the
+	// transfer; every record that is not an apex SOA follows in zone order.
+	apex := ref.Apex.Canonical()
+	soaIdx := -1
+	for i, rr := range ref.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == apex {
+			soaIdx = i
+			break
+		}
+	}
+	if soaIdx < 0 {
+		return 0, errors.New("axfr: reference zone has no SOA")
+	}
+	stream := make([]int, 0, len(ref.Records))
+	stream = append(stream, soaIdx)
+	for i, rr := range ref.Records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name.Canonical() == apex {
+			continue
+		}
+		stream = append(stream, i)
+	}
+	buf := make([]byte, 0, 512)
+	k := 0
+	got, err := ReceiveLazy(r, id, func(v *dnswire.View, raw *dnswire.RawRR) error {
+		if k >= len(stream) {
+			return fmt.Errorf("axfr: transfer delivered more than the %d reference records", len(stream))
+		}
+		var cmpErr error
+		buf, cmpErr = v.AppendCanonical(buf[:0], raw)
+		if cmpErr != nil {
+			return cmpErr
+		}
+		if !bytes.Equal(buf, ref.CanonicalWire(stream[k])) {
+			return fmt.Errorf("axfr: transfer record %d differs from reference record %d", k, stream[k])
+		}
+		k++
+		return nil
+	})
+	if err != nil {
+		return got, err
+	}
+	if got != len(stream) {
+		return got, fmt.Errorf("axfr: transfer delivered %d records, reference zone serves %d", got, len(stream))
+	}
+	return got, nil
 }

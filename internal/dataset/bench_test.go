@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchmarkReplay replays one pre-recorded mixed stream end to end. The
+// recording is built once outside the timer; each iteration pays for frame
+// scan, CRC, inflate, record decode, and handler dispatch — the whole
+// rootanalyze ingest path. events/op is reported so qps falls out of ns/op
+// without knowing the stream composition.
+func benchmarkReplay(b *testing.B, workers int) {
+	const n = 20000
+	data := writeMixedFile(b, n, 8<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(data), synthPop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var h countingHandler
+		probes, transfers, err := r.ReplayWith(ReplayOptions{Workers: workers}, &h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Torn() {
+			b.Fatalf("benchmark stream torn: %v", r.TornReason())
+		}
+		events = probes + transfers
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+func BenchmarkReplayDecodeSerial(b *testing.B)    { benchmarkReplay(b, 1) }
+func BenchmarkReplayDecodeParallel4(b *testing.B) { benchmarkReplay(b, 4) }
+func BenchmarkReplayDecodeParallel8(b *testing.B) { benchmarkReplay(b, 8) }

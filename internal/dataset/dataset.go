@@ -419,12 +419,13 @@ var targetsByKey = func() map[string]rss.ServiceAddr {
 }()
 
 // Reader replays a dataset into handlers, tolerating a torn trailing block.
+// Decoding is block-at-a-time: the v2 framing makes every sealed block
+// independently decompressible, which is what lets ReplayWith fan blocks
+// out to a worker pool while an ordered drain keeps delivery byte-identical
+// to a serial read.
 type Reader struct {
-	raw  *bufio.Reader
-	blk  *bytes.Reader // decompressed current block
-	left uint32        // records remaining in the current block
-	dict []string
-	pop  *vantage.Population
+	raw *bufio.Reader
+	pop *vantage.Population
 	// cities resolves metro codes back to geo.City.
 	cities map[string]geo.City
 
@@ -451,7 +452,7 @@ func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
 	for _, c := range geo.Cities() {
 		cities[c.IATA] = c
 	}
-	return &Reader{raw: raw, dict: []string{""}, pop: pop, cities: cities}, nil
+	return &Reader{raw: raw, pop: pop, cities: cities}, nil
 }
 
 // Torn reports whether the dataset ended in a torn (incomplete or corrupt)
@@ -462,38 +463,55 @@ func (d *Reader) Torn() bool { return d.torn }
 // TornReason describes the detected tail corruption, nil when !Torn().
 func (d *Reader) TornReason() error { return d.tornErr }
 
-// nextBlock loads and verifies the next sealed block. It returns io.EOF at
-// a clean end of the dataset; a torn tail also returns io.EOF after setting
-// the torn flag.
-func (d *Reader) nextBlock() error {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(d.raw, hdr[:]); err != nil {
+// frame is one sealed block as scanned off the wire, CRC unverified: the
+// CPU-bound work (checksum, DEFLATE, record decode) happens in decodeBlock
+// so it can run on a worker.
+type frame struct {
+	hdr   [frameHeaderLen]byte
+	comp  []byte
+	count uint32
+}
+
+// scanFrame reads the next sealed block's frame without decompressing it
+// and without mutating any Reader state beyond the stream position: io.EOF
+// means a clean end at a block boundary; any other error is tear-class and
+// the caller decides when to apply it (the parallel drain applies it at the
+// torn frame's delivery position so truncation semantics match serial). The
+// frame's compressed payload is freshly allocated — frames outlive the
+// sequential scan in parallel mode.
+func (d *Reader) scanFrame() (frame, error) {
+	var f frame
+	if _, err := io.ReadFull(d.raw, f.hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return io.EOF // clean end: file stops at a block boundary
+			return f, io.EOF // clean end: file stops at a block boundary
 		}
-		return d.tear(fmt.Errorf("dataset: torn frame header: %w", err))
+		return f, fmt.Errorf("dataset: torn frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[0:])
-	sum := binary.BigEndian.Uint32(hdr[4:])
-	count := binary.BigEndian.Uint32(hdr[8:])
+	n := binary.BigEndian.Uint32(f.hdr[0:])
+	f.count = binary.BigEndian.Uint32(f.hdr[8:])
 	if n == 0 || n > maxCompressedBlock {
-		return d.tear(fmt.Errorf("dataset: implausible block length %d", n))
+		return f, fmt.Errorf("dataset: implausible block length %d", n)
 	}
-	comp := make([]byte, n)
-	if _, err := io.ReadFull(d.raw, comp); err != nil {
-		return d.tear(fmt.Errorf("dataset: torn block payload: %w", err))
+	f.comp = make([]byte, n)
+	if _, err := io.ReadFull(d.raw, f.comp); err != nil {
+		if err == io.EOF {
+			// Zero payload bytes after a complete header is a torn tail, not
+			// a block boundary; don't let the bare io.EOF read as clean end.
+			err = io.ErrUnexpectedEOF
+		}
+		return f, fmt.Errorf("dataset: torn block payload: %w", err)
 	}
-	if crc32.Checksum(comp, crcTable) != sum {
-		return d.tear(errors.New("dataset: block CRC mismatch"))
+	return f, nil
+}
+
+// nextFrame is scanFrame for serial consumers: a tear-class scan error is
+// applied to the Reader immediately and converted to a clean io.EOF.
+func (d *Reader) nextFrame() (frame, error) {
+	f, err := d.scanFrame()
+	if err != nil && !errors.Is(err, io.EOF) {
+		return f, d.tear(err)
 	}
-	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
-	if err != nil {
-		return d.tear(fmt.Errorf("dataset: corrupt block stream: %w", err))
-	}
-	d.blk = bytes.NewReader(payload)
-	d.left = count
-	d.dict = d.dict[:1] // dictionary is block-scoped
-	return nil
+	return f, err
 }
 
 // tear records the torn tail and converts it into a clean end-of-stream.
@@ -503,9 +521,99 @@ func (d *Reader) tear(reason error) error {
 	return io.EOF
 }
 
-func (d *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(d.blk) }
+// replayEvent is one decoded record, tagged with its kind.
+type replayEvent struct {
+	kind     uint64
+	probe    measure.ProbeEvent
+	transfer measure.TransferEvent
+}
 
-func (d *Reader) str() (string, error) {
+// blockResult is the outcome of decoding one block. events always holds the
+// successfully decoded prefix; exactly one of the error fields may be set.
+// tearErr means the block's bytes are corrupt (CRC or DEFLATE) — replay
+// truncates there, delivering nothing from this block. decodeErr is a real
+// format error inside verified bytes — replay delivers the prefix, then
+// fails, exactly as the old record-interleaved loop did.
+type blockResult struct {
+	events    []replayEvent
+	tearErr   error
+	decodeErr error
+}
+
+// decodeBlock verifies and decodes one sealed block. It is a pure function
+// of the frame plus the shared read-only population/city tables, so any
+// worker can run it for any block.
+func (d *Reader) decodeBlock(f frame) blockResult {
+	sum := binary.BigEndian.Uint32(f.hdr[4:])
+	if crc32.Checksum(f.comp, crcTable) != sum {
+		return blockResult{tearErr: errors.New("dataset: block CRC mismatch")}
+	}
+	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(f.comp)))
+	if err != nil {
+		return blockResult{tearErr: fmt.Errorf("dataset: corrupt block stream: %w", err)}
+	}
+	dec := blockDecoder{
+		blk: bytes.NewReader(payload), dict: []string{""},
+		pop: d.pop, cities: d.cities,
+	}
+	return dec.decodeAll(f.count)
+}
+
+// blockDecoder decodes the records of a single decompressed block. The
+// dictionary is block-scoped (reset at every seal), which is precisely what
+// makes blocks independently decodable.
+type blockDecoder struct {
+	blk    *bytes.Reader
+	dict   []string
+	pop    *vantage.Population
+	cities map[string]geo.City
+}
+
+// decodeAll decodes records until the payload is exhausted, enforcing the
+// declared record count in both directions.
+func (d *blockDecoder) decodeAll(count uint32) blockResult {
+	res := blockResult{events: make([]replayEvent, 0, count)}
+	left := count
+	for d.blk.Len() > 0 {
+		kind, err := d.uvarint()
+		if err != nil {
+			res.decodeErr = fmt.Errorf("dataset: record kind: %w", err)
+			return res
+		}
+		if left == 0 {
+			res.decodeErr = errors.New("dataset: more records than block header declared")
+			return res
+		}
+		left--
+		switch kind {
+		case recProbe:
+			e, err := d.readProbe()
+			if err != nil {
+				res.decodeErr = err
+				return res
+			}
+			res.events = append(res.events, replayEvent{kind: recProbe, probe: e})
+		case recTransfer:
+			e, err := d.readTransfer()
+			if err != nil {
+				res.decodeErr = err
+				return res
+			}
+			res.events = append(res.events, replayEvent{kind: recTransfer, transfer: e})
+		default:
+			res.decodeErr = fmt.Errorf("dataset: unknown record kind %d", kind)
+			return res
+		}
+	}
+	if left != 0 {
+		res.decodeErr = fmt.Errorf("dataset: block ended with %d records unread", left)
+	}
+	return res
+}
+
+func (d *blockDecoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.blk) }
+
+func (d *blockDecoder) str() (string, error) {
 	v, err := d.uvarint()
 	if err != nil {
 		return "", err
@@ -528,56 +636,14 @@ func (d *Reader) str() (string, error) {
 
 // Replay streams every event into the handlers, returning the counts. A
 // torn trailing block (crash mid-write) is truncated, not an error; check
-// Torn() to distinguish a clean end from a recovered one.
+// Torn() to distinguish a clean end from a recovered one. Replay is the
+// serial form of ReplayWith — see there for parallel decode, checkpoints,
+// and resume.
 func (d *Reader) Replay(handlers ...measure.Handler) (probes, transfers int, err error) {
-	for {
-		if d.blk == nil || d.blk.Len() == 0 {
-			if d.blk != nil && d.left != 0 {
-				return probes, transfers, fmt.Errorf("dataset: block ended with %d records unread", d.left)
-			}
-			if err := d.nextBlock(); err != nil {
-				if errors.Is(err, io.EOF) {
-					return probes, transfers, nil
-				}
-				return probes, transfers, err
-			}
-		}
-		kind, err := d.uvarint()
-		if err != nil {
-			return probes, transfers, fmt.Errorf("dataset: record kind: %w", err)
-		}
-		if d.left == 0 {
-			return probes, transfers, errors.New("dataset: more records than block header declared")
-		}
-		d.left--
-		switch kind {
-		case recProbe:
-			e, err := d.readProbe()
-			if err != nil {
-				return probes, transfers, err
-			}
-			probes++
-			mReplayed.Inc()
-			for _, h := range handlers {
-				h.HandleProbe(e)
-			}
-		case recTransfer:
-			e, err := d.readTransfer()
-			if err != nil {
-				return probes, transfers, err
-			}
-			transfers++
-			mReplayed.Inc()
-			for _, h := range handlers {
-				h.HandleTransfer(e)
-			}
-		default:
-			return probes, transfers, fmt.Errorf("dataset: unknown record kind %d", kind)
-		}
-	}
+	return d.ReplayWith(ReplayOptions{}, handlers...)
 }
 
-func (d *Reader) readCommon() (measure.Tick, int, rss.ServiceAddr, uint64, error) {
+func (d *blockDecoder) readCommon() (measure.Tick, int, rss.ServiceAddr, uint64, error) {
 	idx, err := d.uvarint()
 	if err != nil {
 		return measure.Tick{}, 0, rss.ServiceAddr{}, 0, err
@@ -609,7 +675,7 @@ func (d *Reader) readCommon() (measure.Tick, int, rss.ServiceAddr, uint64, error
 	return tick, int(vpIdx), target, flags, nil
 }
 
-func (d *Reader) readProbe() (measure.ProbeEvent, error) {
+func (d *blockDecoder) readProbe() (measure.ProbeEvent, error) {
 	tick, vpIdx, target, flags, err := d.readCommon()
 	if err != nil {
 		return measure.ProbeEvent{}, err
@@ -666,7 +732,7 @@ func (d *Reader) readProbe() (measure.ProbeEvent, error) {
 	return e, nil
 }
 
-func (d *Reader) readTransfer() (measure.TransferEvent, error) {
+func (d *blockDecoder) readTransfer() (measure.TransferEvent, error) {
 	tick, vpIdx, target, flags, err := d.readCommon()
 	if err != nil {
 		return measure.TransferEvent{}, err

@@ -11,4 +11,9 @@ var (
 	mBlocksSealed = telemetry.NewCounter("dataset/blocks_sealed")
 	mBytesSealed  = telemetry.NewCounter("dataset/bytes_sealed")
 	mReplayed     = telemetry.NewCounter("dataset/replayed")
+	// Replay-side counters increment at delivery time (the ordered drain),
+	// never in decode workers, so their stream-class determinism holds at
+	// any worker count.
+	mReplayBlocks      = telemetry.NewCounter("dataset/replay_blocks")
+	mReplayCheckpoints = telemetry.NewCounter("dataset/replay_checkpoints")
 )

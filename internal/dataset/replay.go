@@ -1,0 +1,356 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/failpoint"
+	"repro/internal/measure"
+	"repro/internal/telemetry"
+)
+
+// ReplayOptions configures ReplayWith. The zero value is a plain serial
+// replay, identical to Replay.
+type ReplayOptions struct {
+	// Workers is the number of block-decode workers; <= 1 decodes inline.
+	// Delivery order (and thus every handler's output and every
+	// stream-class metric) is byte-identical at any worker count: frames
+	// are scanned sequentially, decoded in parallel, and drained in frame
+	// order by the calling goroutine.
+	Workers int
+	// CheckpointPath, when set, makes the replay crash-safe: after every
+	// CheckpointEvery delivered blocks the accumulated handler state is
+	// sealed and written atomically to this sidecar path. Every handler
+	// must then implement ReplayCheckpointable.
+	CheckpointPath string
+	// CheckpointEvery is the number of delivered blocks between
+	// checkpoints; 0 means DefaultReplayCheckpointEvery.
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if it exists), restores handler and
+	// telemetry state, and fast-forwards past the checkpointed blocks
+	// after verifying the dataset's frame fingerprint still matches.
+	Resume bool
+}
+
+// DefaultReplayCheckpointEvery is the checkpoint cadence when
+// ReplayOptions.CheckpointEvery is zero.
+const DefaultReplayCheckpointEvery = 8
+
+// replayCheckpointVersion gates the sidecar schema.
+const replayCheckpointVersion = 1
+
+// ReplayCheckpointable is the contract a handler must satisfy to ride a
+// replay checkpoint: seal state into a blob, and restore from one. The
+// analysis accumulators implement it; so does anything reusing the campaign
+// Checkpointable seal with a restore side.
+type ReplayCheckpointable interface {
+	measure.Checkpointable
+	RestoreCheckpoint(state []byte) error
+}
+
+// replayCheckpoint is the JSON sidecar. Sig fingerprints the frame headers
+// (length, CRC, count) of every delivered block, so a resume over a
+// different or rewritten dataset is refused instead of producing silently
+// wrong analyses.
+type replayCheckpoint struct {
+	Version   int      `json:"version"`
+	Sig       string   `json:"sig"`
+	Blocks    int      `json:"blocks"`
+	Probes    int      `json:"probes"`
+	Transfers int      `json:"transfers"`
+	Handlers  [][]byte `json:"handlers"`
+	Telemetry []byte   `json:"telemetry"`
+}
+
+// ReplayWith streams every event into the handlers like Replay, with
+// block-parallel decode, optional crash-safe checkpoints, and resume. The
+// returned counts include fast-forwarded events when resuming (they count
+// from the start of the dataset, as an uninterrupted run would report).
+func (d *Reader) ReplayWith(opts ReplayOptions, handlers ...measure.Handler) (probes, transfers int, err error) {
+	st := &replayState{d: d, handlers: handlers, opts: opts, sig: sha256.New()}
+	if opts.CheckpointPath != "" {
+		for _, h := range handlers {
+			if _, ok := h.(ReplayCheckpointable); !ok {
+				return 0, 0, fmt.Errorf("dataset: handler %T cannot ride a replay checkpoint (wants CheckpointSeal + RestoreCheckpoint)", h)
+			}
+		}
+		if opts.CheckpointEvery <= 0 {
+			st.opts.CheckpointEvery = DefaultReplayCheckpointEvery
+		}
+		if opts.Resume {
+			if err := st.resume(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if opts.Workers <= 1 {
+		err = st.runSerial()
+	} else {
+		err = st.runParallel()
+	}
+	return st.probes, st.transfers, err
+}
+
+// replayState is the per-ReplayWith bookkeeping shared by the serial and
+// parallel paths. Everything here is touched only by the calling goroutine
+// (the ordered drain); workers see just the Reader's read-only tables.
+type replayState struct {
+	d        *Reader
+	handlers []measure.Handler
+	opts     ReplayOptions
+
+	sig       hash.Hash // running fingerprint of delivered frame headers
+	blocks    int
+	probes    int
+	transfers int
+}
+
+// drainBlock delivers one decoded block in order: events to handlers,
+// counters, fingerprint, checkpoint cadence. A torn block converts to a
+// clean end-of-stream (io.EOF) after marking the Reader torn — nothing from
+// the torn block, or after it, is ever delivered.
+func (st *replayState) drainBlock(f frame, res blockResult) error {
+	if res.tearErr != nil {
+		return st.d.tear(res.tearErr)
+	}
+	for i := range res.events {
+		ev := &res.events[i]
+		switch ev.kind {
+		case recProbe:
+			st.probes++
+			mReplayed.Inc()
+			for _, h := range st.handlers {
+				h.HandleProbe(ev.probe)
+			}
+		case recTransfer:
+			st.transfers++
+			mReplayed.Inc()
+			for _, h := range st.handlers {
+				h.HandleTransfer(ev.transfer)
+			}
+		}
+	}
+	if res.decodeErr != nil {
+		// Real format error inside CRC-verified bytes: the prefix was
+		// delivered (matching the old record-interleaved loop), now fail.
+		return res.decodeErr
+	}
+	st.blocks++
+	st.sig.Write(f.hdr[:])
+	mReplayBlocks.Inc()
+	if st.opts.CheckpointPath != "" && st.blocks%st.opts.CheckpointEvery == 0 {
+		if err := st.checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *replayState) runSerial() error {
+	for {
+		f, err := st.d.nextFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := st.drainBlock(f, st.d.decodeBlock(f)); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // torn block: truncated cleanly
+			}
+			return err
+		}
+	}
+}
+
+// replayJob carries one scanned frame to a decode worker and its result
+// back to the drain. scanErr marks the scanner's terminal tear, delivered
+// in order like any block so truncation lands at the right position.
+type replayJob struct {
+	f       frame
+	res     chan blockResult
+	scanErr error
+}
+
+// runParallel mirrors the campaign engine's pool: a sequential scanner
+// (frame reads must happen in file order), a bounded worker pool doing the
+// CPU work (CRC, DEFLATE, record decode), and a serial ordered drain in the
+// calling goroutine so handler delivery is byte-identical to runSerial.
+func (st *replayState) runParallel() error {
+	window := st.opts.Workers * 2
+	work := make(chan *replayJob, window)
+	pending := make(chan *replayJob, window)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	stop := func() { quitOnce.Do(func() { close(quit) }) }
+	defer stop()
+
+	// Scanner: owns the Reader's byte stream, never mutates tear state —
+	// truncation is applied by the drain at the torn block's position.
+	go func() {
+		defer close(work)
+		defer close(pending)
+		for {
+			f, err := st.d.scanFrame()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					select {
+					case pending <- &replayJob{scanErr: err}:
+					case <-quit:
+					}
+				}
+				return
+			}
+			j := &replayJob{f: f, res: make(chan blockResult, 1)}
+			select {
+			case pending <- j:
+			case <-quit:
+				return
+			}
+			select {
+			case work <- j:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for i := 0; i < st.opts.Workers; i++ {
+		go func() {
+			for j := range work {
+				j.res <- st.d.decodeBlock(j.f)
+			}
+		}()
+	}
+	for j := range pending {
+		if j.scanErr != nil {
+			st.d.tear(j.scanErr)
+			return nil
+		}
+		if err := st.drainBlock(j.f, <-j.res); err != nil {
+			stop()
+			if errors.Is(err, io.EOF) {
+				return nil // torn block: truncated cleanly
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint seals handler + telemetry state and writes the sidecar
+// atomically. The checkpoint counter increments before the telemetry
+// snapshot so the saved state includes this checkpoint, mirroring the
+// campaign's convention.
+func (st *replayState) checkpoint() error {
+	mReplayCheckpoints.Inc()
+	cp := replayCheckpoint{
+		Version:   replayCheckpointVersion,
+		Sig:       hex.EncodeToString(st.sig.Sum(nil)),
+		Blocks:    st.blocks,
+		Probes:    st.probes,
+		Transfers: st.transfers,
+	}
+	for _, h := range st.handlers {
+		blob, err := h.(ReplayCheckpointable).CheckpointSeal()
+		if err != nil {
+			return fmt.Errorf("dataset: replay checkpoint: %w", err)
+		}
+		cp.Handlers = append(cp.Handlers, blob)
+	}
+	cp.Telemetry = telemetry.CheckpointState()
+	// The kill site sits between seal and write, the window where a crash
+	// proves the previous sidecar (not the in-memory state) is what resume
+	// trusts.
+	if err := failpoint.Eval("dataset/replay"); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	return writeReplaySidecar(st.opts.CheckpointPath, data)
+}
+
+// writeReplaySidecar persists crash-safely: temp file in the same
+// directory, fsync, rename, best-effort directory fsync — a crash leaves
+// either the old or the new sidecar, never a torn one.
+func writeReplaySidecar(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// resume loads the sidecar (a missing file is a cold start), restores
+// handler and telemetry state, and fast-forwards the Reader past the
+// checkpointed blocks, re-hashing frame headers to prove the dataset is the
+// one the checkpoint describes.
+func (st *replayState) resume() error {
+	data, err := os.ReadFile(st.opts.CheckpointPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var cp replayCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("dataset: replay checkpoint: %w", err)
+	}
+	if cp.Version != replayCheckpointVersion {
+		return fmt.Errorf("dataset: replay checkpoint version %d, want %d", cp.Version, replayCheckpointVersion)
+	}
+	if len(cp.Handlers) != len(st.handlers) {
+		return fmt.Errorf("dataset: replay checkpoint has %d handler states, replay has %d handlers", len(cp.Handlers), len(st.handlers))
+	}
+	for i := 0; i < cp.Blocks; i++ {
+		f, err := st.d.nextFrame()
+		if err != nil {
+			return fmt.Errorf("dataset: resume: dataset ends before checkpointed block %d/%d", i+1, cp.Blocks)
+		}
+		st.sig.Write(f.hdr[:])
+	}
+	if hex.EncodeToString(st.sig.Sum(nil)) != cp.Sig {
+		return errors.New("dataset: resume: dataset does not match checkpoint fingerprint")
+	}
+	for i, h := range st.handlers {
+		if err := h.(ReplayCheckpointable).RestoreCheckpoint(cp.Handlers[i]); err != nil {
+			return fmt.Errorf("dataset: restoring handler %T: %w", h, err)
+		}
+	}
+	if err := telemetry.RestoreState(cp.Telemetry); err != nil {
+		return err
+	}
+	st.blocks = cp.Blocks
+	st.probes, st.transfers = cp.Probes, cp.Transfers
+	return nil
+}

@@ -113,21 +113,40 @@ func (s *Signer) Sign(z *zone.Zone, now time.Time) (*zone.Zone, error) {
 	inception := now.Add(-s.InceptionSkew)
 	expiration := now.Add(s.SignatureValidity)
 
-	rrsets := groupRRsets(out.Records)
+	// The zone sidecar already partitions the records into RRsets in
+	// canonical order, so grouping needs no map-and-sort pass of its own.
+	// The RRSIG's owner spelling and TTL come from the set's FIRST-INSERTED
+	// record (the minimum original index) — the donor rule Sign has always
+	// had, pinned byte-for-byte by TestSignZoneGoldenDigest — whereas the
+	// sidecar orders members canonically, so the donor is re-selected here.
 	var sigs []dnswire.RR
-	for _, set := range rrsets {
+	var members []dnswire.RR
+	for _, set := range out.RRsetIndices() {
+		donor := set[0]
+		for _, i := range set[1:] {
+			if i < donor {
+				donor = i
+			}
+		}
+		first := out.Records[donor]
 		// Glue (and other non-authoritative data below delegations) is not
 		// signed. In the root zone only the apex and TLD delegation points
 		// exist; NS sets at non-apex names are delegations and also unsigned,
 		// but their NSEC and DS records would be — we sign NSEC here.
-		if isGlueOrDelegation(z.Apex, set[0].Name, set[0].Type()) {
+		if isGlueOrDelegation(z.Apex, first.Name, first.Type()) {
 			continue
 		}
 		key := s.ZSK
-		if set[0].Type() == dnswire.TypeDNSKEY {
+		if first.Type() == dnswire.TypeDNSKEY {
 			key = s.KSK
 		}
-		sig, err := SignRRset(key, set, z.Apex, inception, expiration)
+		members = append(members[:0], first)
+		for _, i := range set {
+			if i != donor {
+				members = append(members, out.Records[i])
+			}
+		}
+		sig, err := SignRRset(key, members, z.Apex, inception, expiration)
 		if err != nil {
 			return nil, err
 		}
@@ -135,30 +154,6 @@ func (s *Signer) Sign(z *zone.Zone, now time.Time) (*zone.Zone, error) {
 	}
 	out.Add(sigs...)
 	return out.Canonicalize(), nil
-}
-
-// groupRRsets splits records into RRsets in deterministic order.
-func groupRRsets(records []dnswire.RR) [][]dnswire.RR {
-	groups := make(map[rrsetKey][]dnswire.RR)
-	var order []rrsetKey
-	for _, rr := range records {
-		k := rrsetKey{rr.Name.Canonical(), rr.Type()}
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], rr)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if c := dnswire.CompareCanonical(order[i].name, order[j].name); c != 0 {
-			return c < 0
-		}
-		return order[i].typ < order[j].typ
-	})
-	out := make([][]dnswire.RR, 0, len(order))
-	for _, k := range order {
-		out = append(out, groups[k])
-	}
-	return out
 }
 
 // isGlueOrDelegation reports whether an RRset (owner, typ) is
@@ -248,9 +243,9 @@ func ValidateZone(z *zone.Zone, anchor dnswire.DSRecord, now time.Time) error {
 			sigsFor[k] = append(sigsFor[k], i)
 		}
 	}
-	// The sidecar's RRset groups arrive in the same canonical (name, type)
-	// order groupRRsets produced (the zones here are single-class), so the
-	// first validation error reported is unchanged.
+	// The sidecar's RRset groups arrive in canonical (name, type) order —
+	// the same order signing iterates — so the first validation error
+	// reported is deterministic.
 	for _, set := range z.RRsetIndices() {
 		first := z.Records[set[0]]
 		t := first.Type()

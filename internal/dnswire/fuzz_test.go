@@ -1,6 +1,8 @@
 package dnswire
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -13,6 +15,13 @@ func FuzzUnpack(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	// The same message without compression pointers: seeds that differ only
+	// in pointer layout steer the fuzzer toward the compression logic.
+	useed, err := sampleMessage().PackUncompressed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(useed)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	corrupt := append([]byte(nil), seed...)
@@ -65,6 +74,93 @@ func FuzzDecodeName(f *testing.F) {
 		}
 		if back != name {
 			t.Fatalf("round trip changed name: %q vs %q", back, name)
+		}
+	})
+}
+
+// FuzzViewAgreement pins the lazy view against the full decoder: whenever
+// Unpack accepts a message, the Cursor must walk the identical record
+// layout, on-demand Unpack of each record must reproduce the decoded value,
+// and the view's canonical bytes must match AppendCanonicalRR over the full
+// decode. Seed pairs packed with and without compression pointers make the
+// "same message, different pointer layout" equality explicit.
+func FuzzViewAgreement(f *testing.F) {
+	for _, m := range []*Message{sampleMessage(), viewSampleMessage()} {
+		c, err := m.Pack()
+		if err != nil {
+			f.Fatal(err)
+		}
+		u, err := m.PackUncompressed()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(c)
+		f.Add(u)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		v, err := NewView(data)
+		if err != nil {
+			t.Fatalf("Unpack accepted but NewView rejected: %v", err)
+		}
+		qd, an, ns, ar := v.Counts()
+		if qd != len(dec.Questions) || an != len(dec.Answers) ||
+			ns != len(dec.Authority) || ar != len(dec.Additional) {
+			t.Fatalf("view counts (%d,%d,%d,%d) vs decoded (%d,%d,%d,%d)",
+				qd, an, ns, ar, len(dec.Questions), len(dec.Answers),
+				len(dec.Authority), len(dec.Additional))
+		}
+		want := decodedSections(dec)
+		cur := v.Records()
+		var raw RawRR
+		i := 0
+		for cur.Next(&raw) {
+			if i >= len(want) {
+				t.Fatalf("cursor yielded more than %d records", len(want))
+			}
+			rr := want[i]
+			full, err := v.Unpack(&raw)
+			if err != nil {
+				t.Fatalf("record %d: on-demand unpack failed after full decode accepted: %v", i, err)
+			}
+			if !reflect.DeepEqual(full, rr) {
+				t.Fatalf("record %d: on-demand unpack mismatch:\ngot  %+v\nwant %+v", i, full, rr)
+			}
+			// OPT is a pseudo-record: Unpack rewrites Class/TTL into EDNS
+			// fields, so raw fixed fields legitimately differ. NSEC type
+			// bitmaps are compared via Unpack above but not byte-for-byte:
+			// the full decoder re-encodes the bitmap canonically, while the
+			// view preserves the wire bytes, and arbitrary fuzz input may
+			// carry a decodable-but-non-canonical bitmap encoding.
+			if rr.Type() == TypeOPT {
+				i++
+				continue
+			}
+			if raw.Type != rr.Type() || raw.Class != rr.Class || raw.TTL != rr.TTL {
+				t.Fatalf("record %d: raw fixed fields (%v %v %d) vs decoded (%v %v %d)",
+					i, raw.Type, raw.Class, raw.TTL, rr.Type(), rr.Class, rr.TTL)
+			}
+			if rr.Type() != TypeNSEC {
+				got, err := v.AppendCanonical(nil, &raw)
+				if err != nil {
+					t.Fatalf("record %d: AppendCanonical failed after full decode accepted: %v", i, err)
+				}
+				ref := AppendCanonicalRR(nil, rr, raw.TTL)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("record %d (%v): canonical bytes differ\nview: %x\nfull: %x",
+						i, raw.Type, got, ref)
+				}
+			}
+			i++
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("cursor failed where Unpack succeeded: %v", err)
+		}
+		if i != len(want) {
+			t.Fatalf("cursor yielded %d records, Unpack %d", i, len(want))
 		}
 	})
 }

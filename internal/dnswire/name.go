@@ -74,8 +74,21 @@ func (n Name) Labels() []string {
 }
 
 // Canonical returns n lowercased, per the DNSSEC canonical form
-// (RFC 4034 §6.2).
-func (n Name) Canonical() Name { return Name(strings.ToLower(string(n))) }
+// (RFC 4034 §6.2). DNS case-insensitivity is ASCII-only (RFC 4343), and
+// label bytes need not be valid UTF-8, so this folds byte-wise —
+// strings.ToLower would corrupt high bytes to U+FFFD.
+func (n Name) Canonical() Name {
+	for i := 0; i < len(n); i++ {
+		if c := n[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(n)
+			for j := i; j < len(b); j++ {
+				b[j] = foldASCII(b[j])
+			}
+			return Name(b)
+		}
+	}
+	return n
+}
 
 // Parent returns the name with the leftmost label removed; the parent of the
 // root is the root.

@@ -40,6 +40,10 @@ var Sites = []Site{
 	// Mid-frame during a block seal: a kill tears the frame on disk, and
 	// resume detects and truncates the torn tail.
 	{Name: "dataset/seal/partial", Kill: true},
+	// Replay checkpoint, between sealing handler state and writing the
+	// sidecar: a kill proves resume trusts the previous sidecar, not the
+	// in-memory state, and replays the gap byte-identically.
+	{Name: "dataset/replay", Kill: true},
 	// Worker probe stage, under supervision: panics and errors degrade the
 	// pair within the budget. Not kill-capable (absorbed, and parallel hit
 	// order is racy).

@@ -62,3 +62,41 @@ func frame(n int) error {
 	}
 	return nil
 }
+
+// cursor mirrors the lazy wire-view idiom (PR 7): pointer-receiver methods
+// that advance an offset through a shared byte slice. The directive must
+// bind to methods exactly as it does to functions — these are the annotation
+// sites the dnswire view cursor added.
+type cursor struct {
+	msg []byte
+	off int
+}
+
+//rootlint:hotpath
+func (c *cursor) fail() error {
+	return fmt.Errorf("truncated at %d", c.off) // want "fmt.Errorf allocates on every call"
+}
+
+//rootlint:hotpath
+func (c *cursor) names() string {
+	var all string
+	for c.off < len(c.msg) {
+		all += string(c.msg[c.off]) // want "string concatenation in a loop"
+		c.off++
+	}
+	return all
+}
+
+//rootlint:hotpath
+func (c cursor) owner() []byte {
+	return append(make([]byte, 0, 64), c.msg[c.off:]...) // want "append onto make"
+}
+
+//rootlint:hotpath
+func (c *cursor) each() func() byte {
+	return func() byte { // want "closure captures enclosing variables and escapes"
+		b := c.msg[c.off]
+		c.off++
+		return b
+	}
+}

@@ -209,13 +209,15 @@ func (b *Battery) Run(target rss.ServiceAddr, expectIdentity string) BatteryResu
 			return res
 		}
 	}
-	got, err := axfr.Receive(&stream, 9999)
+	// The lazy compare consumer both counts and byte-verifies the transfer
+	// against the served zone's canonical sidecar without decoding records.
+	got, err := axfr.ReceiveCompare(&stream, 9999, b.srv.Zone())
 	if err != nil {
 		res.check(false, "AXFR receive: %v", err)
 		return res
 	}
-	res.check(len(got.Records) == len(b.srv.Zone().Records),
-		"AXFR returned %d records, zone has %d", len(got.Records), len(b.srv.Zone().Records))
+	res.check(got == len(b.srv.Zone().Records),
+		"AXFR returned %d records, zone has %d", got, len(b.srv.Zone().Records))
 	return res
 }
 

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot-diff: compare two -metrics JSON files on their logical namespace
+// and say, in one line, whether the runs behaved identically. This is the
+// verification harness for refactors — record a snapshot before, one after,
+// diff them: stream- and process-class metrics are deterministic functions
+// of behavior, so any drift is a behavior change, while volatile metrics
+// (wall-clock, environment) are excluded because they differ between any two
+// runs of even the same binary.
+
+// snapshotFile matches WriteJSON's shape.
+type snapshotFile struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// ParseSnapshot decodes a WriteJSON document (the -metrics file, the
+// /metrics endpoint body) back into metric values.
+func ParseSnapshot(data []byte) ([]MetricValue, error) {
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("telemetry: not a metrics snapshot: %w", err)
+	}
+	if f.Metrics == nil {
+		return nil, fmt.Errorf("telemetry: snapshot has no \"metrics\" key")
+	}
+	return f.Metrics, nil
+}
+
+// MetricDiff is one logical metric whose value differs between snapshots.
+type MetricDiff struct {
+	Name string
+	Kind string
+	A, B string // rendered values ("-" when absent from that snapshot)
+}
+
+// DiffResult summarizes a snapshot comparison over the logical namespace.
+type DiffResult struct {
+	// Compared counts logical metrics present in either snapshot.
+	Compared int
+	// Volatile counts metrics excluded from the comparison.
+	Volatile int
+	// Diffs lists the logical metrics that differ, in registry order.
+	Diffs []MetricDiff
+}
+
+// Identical reports whether the logical namespaces match.
+func (r DiffResult) Identical() bool { return len(r.Diffs) == 0 }
+
+// render flattens a metric value for diff display.
+func render(mv MetricValue) string {
+	if mv.Kind == "histogram" {
+		return fmt.Sprintf("count=%d sum=%d buckets=%v", mv.Count, mv.Sum, mv.Buckets)
+	}
+	return fmt.Sprintf("%d", mv.Value)
+}
+
+func sameValue(a, b MetricValue) bool {
+	if a.Kind != b.Kind || a.Value != b.Value || a.Count != b.Count || a.Sum != b.Sum {
+		return false
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// logicalClass reports whether a snapshot entry takes part in the diff. The
+// entry's own class string decides, so snapshots from older binaries with a
+// smaller registry still compare correctly.
+func logicalClass(mv MetricValue) bool {
+	return mv.Class == ClassStream.String() || mv.Class == ClassProcess.String()
+}
+
+// DiffSnapshots compares two WriteJSON documents on their logical metrics.
+// Metrics present in only one snapshot (registry drift between binaries)
+// count as differences — a refactor that adds or removes a logical metric
+// changed observable behavior by definition.
+func DiffSnapshots(a, b []byte) (DiffResult, error) {
+	am, err := ParseSnapshot(a)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	bm, err := ParseSnapshot(b)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	var res DiffResult
+	bByName := make(map[string]MetricValue, len(bm))
+	for _, mv := range bm {
+		bByName[mv.Name] = mv
+	}
+	seen := make(map[string]bool, len(am))
+	for _, av := range am {
+		seen[av.Name] = true
+		if !logicalClass(av) {
+			res.Volatile++
+			continue
+		}
+		res.Compared++
+		bv, ok := bByName[av.Name]
+		if !ok {
+			res.Diffs = append(res.Diffs, MetricDiff{Name: av.Name, Kind: av.Kind, A: render(av), B: "-"})
+			continue
+		}
+		if !sameValue(av, bv) {
+			res.Diffs = append(res.Diffs, MetricDiff{Name: av.Name, Kind: av.Kind, A: render(av), B: render(bv)})
+		}
+	}
+	for _, bv := range bm {
+		if seen[bv.Name] {
+			continue
+		}
+		if !logicalClass(bv) {
+			res.Volatile++
+			continue
+		}
+		res.Compared++
+		res.Diffs = append(res.Diffs, MetricDiff{Name: bv.Name, Kind: bv.Kind, A: "-", B: render(bv)})
+	}
+	return res, nil
+}
+
+// WriteDiff renders a diff result: the per-metric drift lines (nothing when
+// identical) followed by the one-line verdict callers key off.
+func (r DiffResult) WriteDiff(w io.Writer) {
+	for _, d := range r.Diffs {
+		fmt.Fprintf(w, "  %-36s a: %-24s b: %s\n", d.Name, d.A, d.B)
+	}
+	if r.Identical() {
+		fmt.Fprintf(w, "identical: %d logical metrics match (%d volatile skipped) — behavior unchanged\n",
+			r.Compared, r.Volatile)
+		return
+	}
+	fmt.Fprintf(w, "DIFFERENT: %d of %d logical metrics drifted (%d volatile skipped) — behavior changed\n",
+		len(r.Diffs), r.Compared, r.Volatile)
+}

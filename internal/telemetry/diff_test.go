@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// snapshotBytes renders the current metric state the way -metrics does.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ScopeAll); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	Reset()
+	tPairs.Add(41)
+	a := snapshotBytes(t)
+
+	t.Run("identical", func(t *testing.T) {
+		res, err := DiffSnapshots(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Identical() || res.Compared == 0 {
+			t.Fatalf("self-diff: identical=%v compared=%d", res.Identical(), res.Compared)
+		}
+		var out bytes.Buffer
+		res.WriteDiff(&out)
+		if !strings.Contains(out.String(), "behavior unchanged") {
+			t.Errorf("verdict line missing: %q", out.String())
+		}
+	})
+
+	t.Run("logical-drift", func(t *testing.T) {
+		tPairs.Add(1)
+		b := snapshotBytes(t)
+		res, err := DiffSnapshots(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Identical() || len(res.Diffs) != 1 || res.Diffs[0].Name != "campaign/pairs" {
+			t.Fatalf("want exactly campaign/pairs to differ, got %+v", res.Diffs)
+		}
+		var out bytes.Buffer
+		res.WriteDiff(&out)
+		if !strings.Contains(out.String(), "behavior changed") {
+			t.Errorf("verdict line missing: %q", out.String())
+		}
+	})
+
+	t.Run("volatile-ignored", func(t *testing.T) {
+		Reset()
+		tPairs.Add(41)
+		// Wall-clock histogram drift must not count: two identical runs
+		// never agree on durations.
+		enabled.Store(true)
+		tTickDur.Observe(1234)
+		enabled.Store(false)
+		b := snapshotBytes(t)
+		res, err := DiffSnapshots(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Identical() {
+			t.Fatalf("volatile drift must not count: %+v", res.Diffs)
+		}
+		if res.Volatile == 0 {
+			t.Error("volatile metrics not counted as skipped")
+		}
+	})
+
+	t.Run("missing-metric", func(t *testing.T) {
+		// Simulate registry drift: rename one logical metric in b.
+		b := bytes.Replace(a, []byte(`"name": "campaign/pairs"`), []byte(`"name": "campaign/pairs_gone"`), 1)
+		res, err := DiffSnapshots(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Identical() {
+			t.Fatal("registry drift must count as a difference")
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := DiffSnapshots([]byte("{}"), a); err == nil {
+			t.Error("snapshot without metrics key accepted")
+		}
+		if _, err := DiffSnapshots([]byte("nope"), a); err == nil {
+			t.Error("non-JSON accepted")
+		}
+	})
+}

@@ -107,6 +107,8 @@ var Registry = []Def{
 	{Name: "dataset/blocks_sealed", Kind: KindCounter, Class: ClassStream, Help: "dataset blocks sealed (framed + CRC'd)"},
 	{Name: "dataset/bytes_sealed", Kind: KindCounter, Class: ClassStream, Help: "dataset bytes made durable by seals"},
 	{Name: "dataset/replayed", Kind: KindCounter, Class: ClassStream, Help: "events decoded during replay (rootanalyze)"},
+	{Name: "dataset/replay_blocks", Kind: KindCounter, Class: ClassStream, Help: "sealed blocks decoded and delivered during replay"},
+	{Name: "dataset/replay_checkpoints", Kind: KindCounter, Class: ClassStream, Help: "replay checkpoints written"},
 	{Name: "dns/queries", Kind: KindCounter, Class: ClassStream, Help: "DNS queries answered by the in-process server"},
 	{Name: "axfr/serves", Kind: KindCounter, Class: ClassStream, Help: "zone transfers served"},
 

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/axfr"
+	"repro/internal/dnswire"
+)
+
+// TestAXFRLazyReceiveAllocs pins the headline of the lazy wire view: on the
+// same served transfer, the compare-only receive path must allocate at
+// least 10× less than the full-decode Receive (which materializes every
+// Name and RData — ~4.9k allocs per 80-TLD signed-zone transfer).
+func TestAXFRLazyReceiveAllocs(t *testing.T) {
+	z, _ := benchSignedZone(t, 80)
+	q := &dnswire.Message{
+		Header: dnswire.Header{ID: 1},
+		Questions: []dnswire.Question{{
+			Name: dnswire.Root, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET,
+		}},
+	}
+	var buf sliceBuffer
+	if err := axfr.Serve(&buf, z, q); err != nil {
+		t.Fatal(err)
+	}
+	// One warm-up pass primes the frame pool and the zone sidecar so both
+	// measurements see steady state.
+	if _, err := axfr.ReceiveCompare(&buf, 1, z); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	full := testing.AllocsPerRun(10, func() {
+		buf.off = 0
+		_, err = axfr.Receive(&buf, 1)
+		if err != nil {
+			return
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := testing.AllocsPerRun(10, func() {
+		buf.off = 0
+		_, err = axfr.ReceiveCompare(&buf, 1, z)
+		if err != nil {
+			return
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AXFR receive allocs/op: full decode %.0f, lazy compare %.0f (%.0f×)",
+		full, lazy, full/max(lazy, 1))
+	if lazy*10 > full {
+		t.Fatalf("lazy path allocates %.0f/op vs %.0f/op full — want at least 10× fewer", lazy, full)
+	}
+}

@@ -30,11 +30,30 @@ go test -race -count=1 -run 'TestSetZoneUnderLoad|TestServeWorkersSharded|TestCa
 
 # Short fuzz smoke: each dnswire fuzz target gets a few seconds of
 # coverage-guided input on top of its seed corpus. Crashes fail the step.
-for target in FuzzUnpack FuzzDecodeName; do
+# FuzzViewAgreement cross-checks the lazy wire view against the full decoder
+# on every input the codec fuzzers ever found interesting.
+for target in FuzzUnpack FuzzDecodeName FuzzViewAgreement; do
 	echo "== fuzz $target (5s) =="
 	go test -run "^$target$" -fuzz "^$target$" -fuzztime 5s ./internal/dnswire
 done
 
 echo "== chaos matrix =="
-exec go test -run 'TestChaos|TestSeal|TestWorker|TestResume|TestTornTail|TestCorruptBlock|TestResumeWriter' \
+go test -run 'TestChaos|TestSeal|TestWorker|TestResume|TestTornTail|TestCorruptBlock|TestReplay' \
 	./internal/measure ./internal/dataset
+
+# Snapshot-diff self-check: record a small campaign dataset, replay it
+# serially and with a 4-worker decode pool, and require the telemetry
+# snapshots to agree on every logical metric. This exercises the shipping
+# binaries end to end and is the standing demonstration that block-parallel
+# replay changes wall-clock, not behavior.
+echo "== snapshot-diff self-check (serial vs parallel replay) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+go build -o "$tmp/rootmeasure" ./cmd/rootmeasure
+go build -o "$tmp/rootanalyze" ./cmd/rootanalyze
+"$tmp/rootmeasure" -scale 512 -vpscale 8 -tlds 20 -out "$tmp/study.rgds" >/dev/null
+"$tmp/rootanalyze" -in "$tmp/study.rgds" -vpscale 8 -tlds 20 \
+	-metrics "$tmp/serial.json" >/dev/null
+"$tmp/rootanalyze" -in "$tmp/study.rgds" -vpscale 8 -tlds 20 -workers 4 \
+	-metrics "$tmp/parallel.json" >/dev/null
+"$tmp/rootanalyze" -diff "$tmp/serial.json" "$tmp/parallel.json"
