@@ -11,6 +11,8 @@
 //	rootblast [-server 127.0.0.1:5353] [-duration 5s | -count N]
 //	          [-blast-workers 4] [-window 64] [-tlds 120] [-seed 1]
 //	          [-junk 0.45] [-aaaa 0.18] [-do 0.72] [-skew 1.0]
+//	          [-retry 0] [-backoff 0s] [-backoff-cap 0s]
+//	          [-netem loss=0.1,seed=7]
 //	          [-report out.json] [-metrics out.json]
 package main
 
@@ -22,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/blast"
+	"repro/internal/dnsclient"
+	"repro/internal/netem"
 	"repro/internal/prof"
 	"repro/internal/telemetry"
 )
@@ -40,9 +44,18 @@ func main() {
 	aaaa := flag.Float64("aaaa", blast.DefaultMix().AAAA, "AAAA fraction of all queries")
 	dobit := flag.Float64("do", blast.DefaultMix().DO, "fraction of queries with EDNS0 and the DO bit")
 	skew := flag.Float64("skew", blast.DefaultMix().Skew, "heavy-hitter Zipf exponent over existing TLDs")
+	retries := flag.Int("retry", 0, "re-sends per query after its attempt deadline expires (same ID, same wire)")
+	backoff := flag.Duration("backoff", 0, "base delay folded into each retry's deadline; 0 = immediate, like dig")
+	backoffCap := flag.Duration("backoff-cap", 0, "cap on the exponential backoff; 0 = 8x base")
+	netemSpec := flag.String("netem", "", "client-side adverse-network profile, e.g. loss=0.1,seed=7 (see internal/netem)")
 	report := flag.String("report", "", "write the run report as JSON to `file`")
 	telemetry.RegisterFlags()
 	flag.Parse()
+
+	netemProf, err := netem.ParseProfile(*netemSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -75,6 +88,9 @@ func main() {
 		Duration: *duration,
 		Count:    *count,
 		Timeout:  *timeout,
+		Retries:  *retries,
+		Backoff:  dnsclient.Backoff{Base: *backoff, Cap: *backoffCap, Seed: *seed},
+		Netem:    netemProf,
 		Corpus:   corpus,
 	}
 	if *count > 0 {

@@ -7,6 +7,8 @@
 //
 //	rootserve [-addr 127.0.0.1:5353] [-tlds 120] [-hostname id] [-no-axfr]
 //	          [-serve-workers N] [-no-cache] [-cache-bytes N]
+//	          [-netem loss=0.1,seed=7] [-rrl rate=0.5,slip=2]
+//	          [-tcp-timeout 2m] [-max-tcp-conns 64]
 //	          [-metrics out.json] [-telemetry-addr host:port]
 package main
 
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/dnssec"
 	"repro/internal/dnsserver"
+	"repro/internal/netem"
 	"repro/internal/telemetry"
 	"repro/internal/zone"
 	"repro/internal/zonemd"
@@ -34,8 +37,21 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 0, "UDP read loops (SO_REUSEPORT sockets on linux); 0 = GOMAXPROCS")
 	noCache := flag.Bool("no-cache", false, "disable the response cache (every query takes the full lookup path)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes; 0 = 8 MiB default")
+	netemSpec := flag.String("netem", "", "adverse-network profile, e.g. loss=0.1,corrupt=0.05,seed=7 (see internal/netem)")
+	rrlSpec := flag.String("rrl", "", "response-rate-limiting, e.g. rate=0.5,burst=8,slip=2,seed=7 (empty = off)")
+	tcpTimeout := flag.Duration("tcp-timeout", 0, "per-connection TCP idle deadline; 0 = 2m default, negative = no deadline")
+	maxTCP := flag.Int("max-tcp-conns", 0, "concurrent TCP connection cap; 0 = 64 default, negative = unlimited")
 	telemetry.RegisterFlags()
 	flag.Parse()
+
+	netemProf, err := netem.ParseProfile(*netemSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rrlCfg, err := dnsserver.ParseRRL(*rrlSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	stopTel, err := telemetry.Start()
 	if err != nil {
@@ -73,6 +89,10 @@ func main() {
 		ServeWorkers: *serveWorkers,
 		DisableCache: *noCache,
 		CacheBytes:   *cacheBytes,
+		Netem:        netemProf,
+		RRL:          rrlCfg,
+		TCPTimeout:   *tcpTimeout,
+		MaxTCPConns:  *maxTCP,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,6 +104,12 @@ func main() {
 	fmt.Printf("serving root zone serial %d (%d records) on %s (udp+tcp)\n",
 		z.Serial(), len(z.Records), bound)
 	fmt.Printf("trust anchor: %s\n", signer.TrustAnchor())
+	if *netemSpec != "" {
+		fmt.Printf("netem: %s\n", netemProf)
+	}
+	if rrlCfg.Rate > 0 {
+		fmt.Printf("rrl: %s\n", *rrlSpec)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

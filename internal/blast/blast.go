@@ -22,7 +22,9 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
+	"repro/internal/netem"
 	"repro/internal/zone"
 )
 
@@ -204,15 +206,35 @@ type Config struct {
 	// Timeout is how long an outstanding query may go unanswered before it
 	// is reaped (and how long a drain read blocks). 0 means 250ms.
 	Timeout time.Duration
+	// Retries is how many times an expired query is re-sent (same wire,
+	// same message ID, so a seeded netem link rolls a fresh fate for the
+	// re-send rather than re-branching the corpus) before it is declared
+	// lost. 0 keeps the historical reap-once semantics.
+	Retries int
+	// Backoff stretches the per-attempt deadline: re-send attempt k waits
+	// Timeout + Backoff.Delay(k-1) before expiring, i.e. the capped
+	// exponential pause is folded into the wait for an answer. The zero
+	// value re-sends on a flat Timeout cadence.
+	Backoff dnsclient.Backoff
+	// Netem applies a deterministic adverse-network profile to each
+	// worker's socket (flow = worker index): queries pass the link on
+	// egress, responses on ingress. The zero profile is off.
+	Netem netem.Profile
 	// Corpus is the offered workload; required.
 	Corpus *Corpus
 }
 
 // Result is one run's report. Quantiles are read from the telemetry RTT
-// histogram's bucket distribution.
+// histogram's bucket distribution. Every query is accounted for at exit:
+// Sent counts distinct queries (first sends), and Sent == Received + Lost
+// always holds after the drain — nothing is left implicit in the pending
+// ring. Timeouts counts per-attempt expiries (so Timeouts >= Lost when
+// retries are on) and Retried counts re-sends, which are not in Sent.
 type Result struct {
 	Sent       int64         `json:"sent"`
 	Received   int64         `json:"received"`
+	Lost       int64         `json:"lost"`
+	Retried    int64         `json:"retried"`
 	Timeouts   int64         `json:"timeouts"`
 	Mismatches int64         `json:"mismatches"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
@@ -224,8 +246,8 @@ type Result struct {
 
 // String renders the one-line human report.
 func (r *Result) String() string {
-	return fmt.Sprintf("sent=%d received=%d timeouts=%d mismatches=%d elapsed=%s qps=%.0f p50=%dus p90=%dus p99=%dus",
-		r.Sent, r.Received, r.Timeouts, r.Mismatches,
+	return fmt.Sprintf("sent=%d received=%d lost=%d retried=%d timeouts=%d mismatches=%d elapsed=%s qps=%.0f p50=%dus p90=%dus p99=%dus",
+		r.Sent, r.Received, r.Lost, r.Retried, r.Timeouts, r.Mismatches,
 		r.Elapsed.Round(time.Millisecond), r.QPS, r.P50us, r.P90us, r.P99us)
 }
 
@@ -261,6 +283,13 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Count > 0 {
 		perWorkerCount = (cfg.Count + int64(workers) - 1) / int64(workers)
 	}
+	link := netem.NewLink(cfg.Netem)
+	// Per-attempt deadline extensions, precomputed off the hot loop:
+	// attempt 0 waits Timeout, re-send attempt k waits Timeout+Delay(k-1).
+	delays := make([]int64, cfg.Retries+1)
+	for k := 1; k <= cfg.Retries; k++ {
+		delays[k] = cfg.Backoff.Delay(k - 1).Nanoseconds()
+	}
 	//rootlint:allow wallclock: load generation is wall-clock by nature; RTTs and deadlines never feed measurement results
 	start := time.Now()
 	ws := make([]worker, workers)
@@ -273,6 +302,12 @@ func Run(cfg Config) (*Result, error) {
 		w.count = perWorkerCount
 		w.timeoutNs = timeout.Nanoseconds()
 		w.timeout = timeout
+		w.retries = cfg.Retries
+		w.delays = delays
+		w.link = link
+		// The flow key is the worker index: stable run to run, unlike the
+		// socket's ephemeral port.
+		w.flow = netem.FlowID(uint64(i))
 		// Stagger corpus offsets so N workers collectively offer the mix.
 		w.ci = (i * cfg.Corpus.Len()) / workers
 		w.idCtr = uint32(splitmix64(uint64(i)*0x9e37 + 1))
@@ -294,6 +329,8 @@ func Run(cfg Config) (*Result, error) {
 	for i := range ws {
 		res.Sent += ws[i].sent
 		res.Received += ws[i].received
+		res.Lost += ws[i].lost
+		res.Retried += ws[i].retried
 		res.Timeouts += ws[i].timeouts
 		res.Mismatches += ws[i].mismatches
 	}
@@ -305,6 +342,8 @@ func Run(cfg Config) (*Result, error) {
 	res.P99us = mRTT.Quantile(0.99)
 	mSent.Add(res.Sent)
 	mReceived.Add(res.Received)
+	mLost.Add(res.Lost)
+	mRetries.Add(res.Retried)
 	mTimeouts.Add(res.Timeouts)
 	mMismatches.Add(res.Mismatches)
 	return res, nil
@@ -319,42 +358,98 @@ type worker struct {
 	count     int64 // per-worker send budget; 0 = unbounded
 	timeout   time.Duration
 	timeoutNs int64
+	retries   int
+	delays    []int64 // per-attempt deadline extension, ns (delays[0] = 0)
+	link      *netem.Link
+	flow      uint64
 
 	conn    *net.UDPConn
 	sendBuf []byte
 	recvBuf []byte
 	// pending[id] is the send time (UnixNano) of the outstanding query with
-	// that message ID, 0 when none. The ring holds outstanding IDs in send
+	// that message ID, 0 when none; attempts[id] counts its re-sends and
+	// wireIdx[id] remembers its corpus entry so an expiry re-sends the same
+	// wire under the same ID. The ring holds outstanding IDs in first-send
 	// order; it is larger than the window so out-of-order completions never
-	// wedge the head against a still-pending tail.
+	// wedge the head against a still-pending tail. A retried entry keeps
+	// its ring slot with a refreshed timestamp — never re-appended, so the
+	// ring can't overflow and an ID is never in the ring twice.
 	pending     []int64
+	attempts    []uint8
+	wireIdx     []int32
 	ring        []uint16
 	head, tail  int
 	outstanding int
 	ci          int // corpus cursor
 	idCtr       uint32
 
-	sent, received, timeouts, mismatches int64
+	sent, received, lost, retried, timeouts, mismatches int64
+}
+
+// expireNs is the wait before the entry's current attempt is declared
+// expired: the base timeout, stretched by the backoff table for re-sends.
+//
+//rootlint:hotpath
+func (w *worker) expireNs(id uint16) int64 {
+	return w.timeoutNs + w.delays[w.attempts[id]]
+}
+
+// send patches id into the corpus wire and writes it through the emulated
+// link (a dropped or corrupted send is still a send: the entry stays
+// pending and the expiry path accounts for it).
+//
+//rootlint:hotpath
+func (w *worker) send(id uint16, wireIdx int32) error {
+	w.sendBuf = append(w.sendBuf[:0], w.corpus.wires[wireIdx]...)
+	w.sendBuf[0], w.sendBuf[1] = byte(id>>8), byte(id)
+	first, second := w.link.Admit(netem.Egress, w.flow, w.sendBuf)
+	if first != nil {
+		if _, err := w.conn.Write(first); err != nil {
+			return err
+		}
+	}
+	if second != nil {
+		if _, err := w.conn.Write(second); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reap advances the ring tail past completed entries and expires entries
-// older than the timeout; it stops at the first young, still-pending entry.
+// older than their attempt deadline, re-sending those with retry budget
+// left (same ID, same wire, refreshed timestamp — the entry keeps its ring
+// slot) and declaring the rest lost. It stops at the first young,
+// still-pending entry.
 //
 //rootlint:hotpath
-func (w *worker) reap(nowNs int64) {
+func (w *worker) reap(nowNs int64) error {
 	for w.tail != w.head {
 		id := w.ring[w.tail]
 		t0 := w.pending[id]
-		if t0 != 0 && nowNs-t0 < w.timeoutNs {
-			return
-		}
 		if t0 != 0 {
+			if nowNs-t0 < w.expireNs(id) {
+				return nil
+			}
+			w.timeouts++
+			if int(w.attempts[id]) < w.retries {
+				w.attempts[id]++
+				w.retried++
+				w.pending[id] = nowNs
+				if err := w.send(id, w.wireIdx[id]); err != nil {
+					return err
+				}
+				// The refreshed entry is young again; later ring entries
+				// wait behind it exactly like behind any pending tail.
+				return nil
+			}
 			w.pending[id] = 0
 			w.outstanding--
-			w.timeouts++
+			w.lost++
 		}
 		w.tail = (w.tail + 1) % len(w.ring)
 	}
+	return nil
 }
 
 // fill tops the outstanding window up with fresh sends until the window,
@@ -365,12 +460,14 @@ func (w *worker) fill(nowNs, deadlineNs int64) error {
 	for w.outstanding < w.window && nowNs < deadlineNs &&
 		(w.count <= 0 || w.sent < w.count) {
 		if (w.head+1)%len(w.ring) == w.tail {
-			w.reap(nowNs)
+			if err := w.reap(nowNs); err != nil {
+				return err
+			}
 			if (w.head+1)%len(w.ring) == w.tail {
 				return nil // ring blocked on a young pending tail; drain first
 			}
 		}
-		wire := w.corpus.wires[w.ci]
+		wi := int32(w.ci)
 		w.ci++
 		if w.ci == len(w.corpus.wires) {
 			w.ci = 0
@@ -380,9 +477,9 @@ func (w *worker) fill(nowNs, deadlineNs int64) error {
 		if w.pending[id] != 0 {
 			return nil // ID still in flight after a full wrap; drain first
 		}
-		w.sendBuf = append(w.sendBuf[:0], wire...)
-		w.sendBuf[0], w.sendBuf[1] = byte(id>>8), byte(id)
-		if _, err := w.conn.Write(w.sendBuf); err != nil {
+		w.attempts[id] = 0
+		w.wireIdx[id] = wi
+		if err := w.send(id, wi); err != nil {
 			return err
 		}
 		w.pending[id] = nowNs
@@ -394,10 +491,38 @@ func (w *worker) fill(nowNs, deadlineNs int64) error {
 	return nil
 }
 
+// handleResp matches one admitted response datagram against the pending
+// table.
+//
+//rootlint:hotpath
+func (w *worker) handleResp(buf []byte, rxNs int64) {
+	if len(buf) < 2 {
+		w.mismatches++
+		return
+	}
+	id := binary.BigEndian.Uint16(buf)
+	t0 := w.pending[id]
+	if t0 == 0 {
+		w.mismatches++
+		return
+	}
+	w.pending[id] = 0
+	w.outstanding--
+	w.received++
+	mRTT.Observe((rxNs - t0) / 1000)
+	// Compact completed entries off the ring tail.
+	for w.tail != w.head && w.pending[w.ring[w.tail]] == 0 {
+		w.tail = (w.tail + 1) % len(w.ring)
+	}
+}
+
 // run is the worker loop: fill the window, drain one response, repeat; on a
-// read timeout, reap expired outstanding entries. The steady state
-// allocates nothing — buffers, the per-ID timestamp table, and the ring are
-// reused across packets.
+// read timeout, reap expired outstanding entries. The loop ends only when
+// the pending table is fully drained — every query has been answered or
+// declared lost after its retry budget — so sent == received + lost holds
+// at exit and nothing hangs under loss: the reap path always makes
+// progress. The steady state allocates nothing — buffers, the per-ID
+// tables, and the ring are reused across packets.
 //
 //rootlint:hotpath
 func (w *worker) run(raddr *net.UDPAddr) error {
@@ -410,6 +535,8 @@ func (w *worker) run(raddr *net.UDPAddr) error {
 	w.sendBuf = make([]byte, 0, 512)
 	w.recvBuf = make([]byte, 64*1024)
 	w.pending = make([]int64, 1<<16)
+	w.attempts = make([]uint8, 1<<16)
+	w.wireIdx = make([]int32, 1<<16)
 	w.ring = make([]uint16, 4*w.window)
 
 	//rootlint:allow wallclock: load generation deadline
@@ -437,29 +564,21 @@ func (w *worker) run(raddr *net.UDPAddr) error {
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				//rootlint:allow wallclock: reaping stale outstanding queries
-				w.reap(time.Now().UnixNano())
+				if err := w.reap(time.Now().UnixNano()); err != nil {
+					return err
+				}
 				continue
 			}
 			return err
 		}
-		if n < 2 {
-			w.mismatches++
-			continue
-		}
-		id := binary.BigEndian.Uint16(w.recvBuf)
-		t0 := w.pending[id]
-		if t0 == 0 {
-			w.mismatches++
-			continue
-		}
-		w.pending[id] = 0
-		w.outstanding--
-		w.received++
 		//rootlint:allow wallclock: RTT observation is the tool's output
-		mRTT.Observe((time.Now().UnixNano() - t0) / 1000)
-		// Compact completed entries off the ring tail.
-		for w.tail != w.head && w.pending[w.ring[w.tail]] == 0 {
-			w.tail = (w.tail + 1) % len(w.ring)
+		rxNs := time.Now().UnixNano()
+		first, second := w.link.Admit(netem.Ingress, w.flow, w.recvBuf[:n])
+		if first != nil {
+			w.handleResp(first, rxNs)
+		}
+		if second != nil {
+			w.handleResp(second, rxNs)
 		}
 	}
 }

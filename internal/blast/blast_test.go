@@ -3,13 +3,16 @@ package blast_test
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/blast"
+	"repro/internal/dnsclient"
 	"repro/internal/dnssec"
 	"repro/internal/dnsserver"
 	"repro/internal/dnswire"
+	"repro/internal/netem"
 	"repro/internal/telemetry"
 	"repro/internal/zone"
 	"repro/internal/zonemd"
@@ -83,11 +86,9 @@ func TestCorpusWiresAreQueries(t *testing.T) {
 	}
 }
 
-// TestRunAgainstServer is the end-to-end smoke test: a small blast against
-// a loopback dnsserver must deliver every query and report sane latency
-// quantiles from the telemetry histogram.
-func TestRunAgainstServer(t *testing.T) {
-	telemetry.Reset()
+// startBlastTarget builds a signed root zone and serves it on loopback.
+func startBlastTarget(t *testing.T) string {
+	t.Helper()
 	signer, err := dnssec.NewSigner(rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +112,16 @@ func TestRunAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+// TestRunAgainstServer is the end-to-end smoke test: a small blast against
+// a loopback dnsserver must deliver every query and report sane latency
+// quantiles from the telemetry histogram.
+func TestRunAgainstServer(t *testing.T) {
+	telemetry.Reset()
+	addrStr := startBlastTarget(t)
 
 	telemetry.SetEnabled(true)
 	defer telemetry.SetEnabled(false)
@@ -120,7 +130,7 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := blast.Run(blast.Config{
-		Addr:    addr.String(),
+		Addr:    addrStr,
 		Workers: 2,
 		Window:  16,
 		Count:   500,
@@ -147,5 +157,91 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if res.QPS <= 0 {
 		t.Errorf("qps = %f", res.QPS)
+	}
+}
+
+// TestRunUnderLossCompletes is the PR's client-side acceptance test: under
+// a seeded 10% bidirectional loss profile, a retrying blast must terminate
+// with every query accounted for — sent == received + lost — report its
+// resends, and leave no goroutines behind.
+func TestRunUnderLossCompletes(t *testing.T) {
+	telemetry.Reset()
+	addr := startBlastTarget(t)
+	corpus, err := blast.BuildCorpus(blast.DefaultMix(), 20, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	res, err := blast.Run(blast.Config{
+		Addr:    addr,
+		Workers: 2,
+		Window:  16,
+		Count:   300,
+		Timeout: 75 * time.Millisecond,
+		Retries: 3,
+		Backoff: dnsclient.Backoff{Base: 2 * time.Millisecond, Cap: 8 * time.Millisecond, Seed: 2},
+		Netem:   netem.Profile{Loss: 0.1, Seed: 6},
+		Corpus:  corpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 300 {
+		t.Errorf("sent %d, want 300", res.Sent)
+	}
+	if res.Received+res.Lost != res.Sent {
+		t.Errorf("accounting broken: received %d + lost %d != sent %d",
+			res.Received, res.Lost, res.Sent)
+	}
+	if res.Retried == 0 {
+		t.Error("10%% loss produced zero retries")
+	}
+	if res.Received == 0 {
+		t.Fatal("nothing survived a 10%% loss link")
+	}
+	if res.Timeouts < res.Lost {
+		t.Errorf("timeouts %d < lost %d: every loss needs an expired final attempt",
+			res.Timeouts, res.Lost)
+	}
+	// Every worker (and its reader) must be gone; allow the runtime a
+	// moment to reap, then a small slack for unrelated background work.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines grew from %d to %d after Run returned", before, n)
+	}
+}
+
+// TestRunBlackholeTerminates: a fully blackholed link (every flow dead)
+// must not hang — every query exhausts its retry budget and is reported
+// lost.
+func TestRunBlackholeTerminates(t *testing.T) {
+	telemetry.Reset()
+	addr := startBlastTarget(t)
+	corpus, err := blast.BuildCorpus(blast.DefaultMix(), 20, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blast.Run(blast.Config{
+		Addr:    addr,
+		Workers: 2,
+		Window:  8,
+		Count:   40,
+		Timeout: 30 * time.Millisecond,
+		Retries: 1,
+		Netem:   netem.Profile{Blackhole: 1, Seed: 1},
+		Corpus:  corpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != 0 || res.Lost != 40 || res.Sent != 40 {
+		t.Errorf("blackhole run: sent=%d received=%d lost=%d, want 40/0/40",
+			res.Sent, res.Received, res.Lost)
+	}
+	if res.Retried != 40 {
+		t.Errorf("retried %d, want one resend per query", res.Retried)
 	}
 }

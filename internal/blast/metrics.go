@@ -10,6 +10,8 @@ var (
 	mSent       = telemetry.NewCounter("blast/sent")
 	mReceived   = telemetry.NewCounter("blast/received")
 	mTimeouts   = telemetry.NewCounter("blast/timeouts")
+	mRetries    = telemetry.NewCounter("blast/retries")
+	mLost       = telemetry.NewCounter("blast/lost")
 	mMismatches = telemetry.NewCounter("blast/mismatches")
 	mRTT        = telemetry.NewHistogram("wallclock/blast_rtt_us")
 )

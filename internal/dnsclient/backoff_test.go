@@ -1,0 +1,129 @@
+package dnsclient
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/axfr"
+)
+
+// TestBackoffZeroValueIsImmediate pins the battery contract: a zero Backoff
+// never waits, so a default client retries exactly like dig (+retry with no
+// pause) and the paper's loss-rate observable is untouched.
+func TestBackoffZeroValueIsImmediate(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 6; attempt++ {
+		if d := b.Delay(attempt); d != 0 {
+			t.Fatalf("zero Backoff.Delay(%d) = %v, want 0", attempt, d)
+		}
+	}
+}
+
+// TestBackoffGrowthCapAndDeterminism checks the shape of the policy: each
+// delay lands in the jitter window [d/2, d) of the capped exponential, the
+// sequence is a pure function of the config, and the seed moves the jitter.
+func TestBackoffGrowthCapAndDeterminism(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 1}
+	same := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 1}
+	other := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 2}
+	var differs bool
+	for attempt := 0; attempt < 8; attempt++ {
+		full := b.Base << attempt
+		if full > b.Cap {
+			full = b.Cap
+		}
+		d := b.Delay(attempt)
+		if d < full/2 || d >= full {
+			t.Errorf("Delay(%d) = %v, want in [%v, %v)", attempt, d, full/2, full)
+		}
+		if d != same.Delay(attempt) {
+			t.Errorf("Delay(%d) differs between identical configs", attempt)
+		}
+		if d != other.Delay(attempt) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// TestBackoffDefaultCap: Cap 0 means 8×Base.
+func TestBackoffDefaultCap(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Seed: 3}
+	if d := b.Delay(10); d >= 8*b.Base {
+		t.Errorf("Delay(10) = %v, want under the 8×Base default cap %v", d, 8*b.Base)
+	}
+}
+
+// axfrListener runs a canned per-connection script and counts accepts.
+func axfrListener(t *testing.T, accepts *atomic.Int32, handle func(net.Conn)) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			handle(conn)
+			conn.Close()
+		}
+	}()
+	return ln
+}
+
+// TestTransferZoneRetriesTruncatedTransfer: a transfer cut mid-frame must be
+// retried on a fresh connection, once per configured retry, before the
+// classified error surfaces.
+func TestTransferZoneRetriesTruncatedTransfer(t *testing.T) {
+	var accepts atomic.Int32
+	ln := axfrListener(t, &accepts, func(conn net.Conn) {
+		if _, err := axfr.ReadMessage(conn); err != nil {
+			return
+		}
+		// Promise a 65535-byte frame, deliver five bytes, hang up.
+		conn.Write([]byte{0xFF, 0xFF, 1, 2, 3, 4, 5})
+	})
+	c := New(ln.Addr().String())
+	c.Timeout = 200 * time.Millisecond
+	c.Retries = 2
+	c.Backoff = Backoff{Base: time.Millisecond, Seed: 1}
+	if _, err := c.TransferZone(); err == nil {
+		t.Fatal("truncated transfer reported success")
+	}
+	if got := accepts.Load(); got != 3 {
+		t.Errorf("server saw %d connections, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// TestTransferZoneRefusalNotRetried: REFUSED is an answer, not a transient —
+// the client must stop after the first connection however many retries it
+// was granted.
+func TestTransferZoneRefusalNotRetried(t *testing.T) {
+	var accepts atomic.Int32
+	ln := axfrListener(t, &accepts, func(conn net.Conn) {
+		q, err := axfr.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		_ = axfr.Refuse(conn, q)
+	})
+	c := New(ln.Addr().String())
+	c.Timeout = 200 * time.Millisecond
+	c.Retries = 5
+	if _, err := c.TransferZone(); !errors.Is(err, axfr.ErrRefused) {
+		t.Fatalf("err = %v, want axfr.ErrRefused", err)
+	}
+	if got := accepts.Load(); got != 1 {
+		t.Errorf("server saw %d connections, want 1 (refusals are final)", got)
+	}
+}

@@ -36,6 +36,9 @@ type Client struct {
 	// EDNSSize, when non-zero, attaches an OPT record advertising this
 	// payload size with the DO bit set.
 	EDNSSize uint16
+	// Backoff paces re-sends between retry attempts. The zero value —
+	// retry immediately, like dig — is the battery default; see Backoff.
+	Backoff Backoff
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -111,8 +114,9 @@ func (c *Client) QueryChaosTXT(name dnswire.Name) (string, error) {
 	return "", fmt.Errorf("dnsclient: no TXT answer for %s", name)
 }
 
-// Exchange sends q over UDP with retries, then retries once over TCP when
-// the response has TC set.
+// Exchange sends q over UDP with retries (paced by Backoff, which the
+// battery leaves at its immediate-retry zero value), then retries once over
+// TCP when the response has TC set.
 func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -120,13 +124,25 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			if d := c.Backoff.Delay(attempt - 1); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		resp, err := c.exchangeUDP(q, timeout)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if resp.Header.Truncated {
-			return c.ExchangeTCP(q)
+			full, err := c.ExchangeTCP(q)
+			if err == nil {
+				return full, nil
+			}
+			// A cut or stalled fallback connection burns this attempt and
+			// retries from the top (fresh UDP exchange, fresh TCP dial).
+			lastErr = err
+			continue
 		}
 		return resp, nil
 	}
@@ -202,8 +218,32 @@ func (c *Client) ExchangeTCP(q *dnswire.Message) (*dnswire.Message, error) {
 	return resp, nil
 }
 
-// TransferZone performs a full AXFR of the root zone over TCP.
+// TransferZone performs a full AXFR of the root zone over TCP, retrying a
+// cut or stalled transfer up to Retries times (each attempt is a fresh
+// connection with a fresh query ID; pacing follows Backoff). A transfer
+// the server refused is not retried — the refusal is the answer.
 func (c *Client) TransferZone() (*zone.Zone, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			if d := c.Backoff.Delay(attempt - 1); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		z, err := c.transferOnce()
+		if err == nil {
+			return z, nil
+		}
+		lastErr = err
+		if errors.Is(err, axfr.ErrRefused) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// transferOnce is one AXFR attempt on one connection.
+func (c *Client) transferOnce() (*zone.Zone, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = time.Second

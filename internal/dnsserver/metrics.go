@@ -14,3 +14,17 @@ var (
 	mCacheMisses    = telemetry.NewCounter("dns/cache/misses")
 	mCacheEvictions = telemetry.NewCounter("dns/cache/evictions")
 )
+
+// RRL counters are process-class: every verdict is a pure function of
+// (config, per-bucket arrival index), so a serial offered load reproduces
+// them byte-identically across runs and shard counts — they are what the
+// check.sh adversity step diffs. Sheds and TCP rejects are volatile: they
+// exist precisely because queue drain and accept timing are wall-clock
+// facts.
+var (
+	mRRLDrops     = telemetry.NewCounter("rrl/drops")
+	mRRLSlips     = telemetry.NewCounter("rrl/slips")
+	mRRLEvictions = telemetry.NewCounter("rrl/evictions")
+	mSheds        = telemetry.NewCounter("serve/sheds")
+	mTCPRejects   = telemetry.NewCounter("serve/tcp_rejects")
+)

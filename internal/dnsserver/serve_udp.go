@@ -5,6 +5,8 @@ import (
 	"net/netip"
 
 	"repro/internal/dnswire"
+	"repro/internal/failpoint"
+	"repro/internal/netem"
 )
 
 // udpHeaderLen is the fixed DNS header size.
@@ -131,17 +133,59 @@ func (s *Server) bucketByte(sh queryShape) byte {
 	return b
 }
 
+// shardBufs is one serving goroutine's reusable buffers (each read loop and
+// each slow worker owns a set; nothing is shared, nothing escapes).
+type shardBufs struct {
+	resp   []byte
+	key    []byte
+	rrlKey []byte
+}
+
+func newShardBufs() *shardBufs {
+	return &shardBufs{
+		resp:   make([]byte, 0, 4096),
+		key:    make([]byte, 0, dnswire.MaxNameLen+8),
+		rrlKey: make([]byte, 0, 32),
+	}
+}
+
+// slowItem is one query handed from a read loop to its shard's slow worker.
+type slowItem struct {
+	pkt   []byte
+	raddr netip.AddrPort
+	flow  uint64
+}
+
+// slowQueue is the bounded per-shard hand-off between the read loop and the
+// slow worker, plus a free list recycling packet buffers so a steady miss
+// load allocates nothing after warm-up. Enqueue never blocks: a full queue
+// sheds the query (an overload drop a real server would also take, counted
+// in serve/sheds).
+type slowQueue struct {
+	ch   chan slowItem
+	free chan []byte
+}
+
+func newSlowQueue(depth int) *slowQueue {
+	return &slowQueue{
+		ch:   make(chan slowItem, depth),
+		free: make(chan []byte, depth),
+	}
+}
+
 // serveUDPLoop is one shard's read loop. All buffers are reused across
 // iterations; a cache hit answers with zero allocations (the map lookup via
 // string(keyBuf) does not allocate, and the netip read/write paths are
-// alloc-free).
+// alloc-free). Cache misses are handed to the shard's slow worker so an
+// expensive decode can never stall the socket; the emulated link, when
+// configured, admits datagrams on ingress (possibly dropping, corrupting,
+// or duplicating them) before any parsing happens.
 //
 //rootlint:hotpath
 func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
 	defer s.wg.Done()
 	readBuf := make([]byte, 64*1024)
-	respBuf := make([]byte, 0, 4096)
-	keyBuf := make([]byte, 0, dnswire.MaxNameLen+8)
+	bufs := newShardBufs()
 	for {
 		n, raddr, err := conn.ReadFromUDPAddrPort(readBuf)
 		if err != nil {
@@ -152,60 +196,162 @@ func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
 				continue
 			}
 		}
-		pkt := readBuf[:n]
-		sh := parseQueryShape(pkt)
-		st := s.state.Load()
-		cacheable := sh.ok && st.cache != nil
-		if cacheable {
-			// Key = raw question bytes (case preserved, so a hit is
-			// byte-identical to what the slow path produced) + EDNS bucket.
-			keyBuf = append(keyBuf[:0], pkt[udpHeaderLen:sh.qEnd]...)
-			keyBuf = append(keyBuf, s.bucketByte(sh))
-			if wire := st.cache.get(keyBuf); wire != nil {
-				mQueries.ShardInc(shard)
-				mCacheHits.ShardInc(shard)
-				respBuf = append(respBuf[:0], wire...)
-				respBuf[0], respBuf[1] = pkt[0], pkt[1] // patch in the query ID
-				_, _ = conn.WriteToUDPAddrPort(respBuf, raddr)
-				continue
-			}
-			mCacheMisses.ShardInc(shard)
+		var flow uint64
+		if s.link != nil {
+			// Flow identity is the client IP alone: ephemeral ports differ
+			// run to run and would break fate determinism.
+			flow = netem.FlowAddr(raddr)
 		}
-		respBuf = s.serveUDPSlow(conn, st, pkt, raddr, respBuf, keyBuf, cacheable)
+		pkt, extra := s.link.Admit(netem.Ingress, flow, readBuf[:n])
+		if pkt != nil {
+			s.servePacket(conn, shard, bufs, pkt, raddr, flow)
+		}
+		if extra != nil {
+			s.servePacket(conn, shard, bufs, extra, raddr, flow)
+		}
 	}
 }
 
-// serveUDPSlow is the allocating miss path: full decode, Handle, pack into
-// the reusable response buffer, truncate to the bucketed limit, and insert
-// the final bytes into the response cache when the fast parser recognized
-// the query (so the next identical query is a zero-alloc hit).
-func (s *Server) serveUDPSlow(conn *net.UDPConn, st *serveState, pkt []byte, raddr netip.AddrPort, respBuf, key []byte, cacheable bool) []byte {
+// servePacket serves one admitted datagram: cache hits answer inline on the
+// zero-alloc path, everything else is enqueued for the shard's slow worker.
+//
+//rootlint:hotpath
+func (s *Server) servePacket(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow uint64) {
+	sh := parseQueryShape(pkt)
+	st := s.state.Load()
+	if sh.ok && st.cache != nil {
+		// Key = raw question bytes (case preserved, so a hit is
+		// byte-identical to what the slow path produced) + EDNS bucket.
+		bufs.key = append(bufs.key[:0], pkt[udpHeaderLen:sh.qEnd]...)
+		bufs.key = append(bufs.key, s.bucketByte(sh))
+		if wire := st.cache.get(bufs.key); wire != nil {
+			mQueries.ShardInc(shard)
+			mCacheHits.ShardInc(shard)
+			bufs.resp = append(bufs.resp[:0], wire...)
+			bufs.resp[0], bufs.resp[1] = pkt[0], pkt[1] // patch in the query ID
+			s.respond(conn, shard, bufs, pkt, sh, raddr, flow)
+			return
+		}
+		mCacheMisses.ShardInc(shard)
+	}
+	s.enqueueSlow(shard, pkt, raddr, flow)
+}
+
+// enqueueSlow hands a miss to the shard's slow worker, or sheds it when the
+// bounded queue is full. The serve/shed failpoint forces a shed for chaos
+// tests.
+//
+//rootlint:hotpath
+func (s *Server) enqueueSlow(shard int, pkt []byte, raddr netip.AddrPort, flow uint64) {
+	if err := failpoint.Eval("serve/shed"); err != nil {
+		mSheds.ShardInc(shard)
+		return
+	}
+	q := s.slow[shard]
+	var buf []byte
+	select {
+	case buf = <-q.free:
+	default:
+		buf = make([]byte, 0, 4096)
+	}
+	buf = append(buf[:0], pkt...)
+	select {
+	case q.ch <- slowItem{pkt: buf, raddr: raddr, flow: flow}:
+	default:
+		select {
+		case q.free <- buf:
+		default:
+		}
+		mSheds.ShardInc(shard)
+	}
+}
+
+// slowWorker drains one shard's queue: full decode, handle, pack, cache
+// insert, respond. It owns its buffers, so the read loop and the worker
+// never share mutable state.
+func (s *Server) slowWorker(conn *net.UDPConn, shard int, q *slowQueue) {
+	defer s.wg.Done()
+	bufs := newShardBufs()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case it := <-q.ch:
+			s.serveSlow(conn, shard, bufs, it.pkt, it.raddr, it.flow)
+			select {
+			case q.free <- it.pkt:
+			default:
+			}
+		}
+	}
+}
+
+// serveSlow is the allocating miss path: full decode, Handle, pack into the
+// worker's response buffer, truncate to the bucketed limit, and insert the
+// final bytes into the response cache when the fast parser recognized the
+// query (so the next identical query is a zero-alloc hit).
+func (s *Server) serveSlow(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow uint64) {
+	sh := parseQueryShape(pkt)
+	st := s.state.Load()
 	query, err := dnswire.Unpack(pkt)
 	if err != nil {
-		return respBuf // unparseable datagrams are dropped, like real servers
+		return // unparseable datagrams are dropped, like real servers
 	}
 	resp := s.handleState(st, query, false)
 	if resp == nil {
-		return respBuf
+		return
 	}
 	limit := s.bucketLimit(false, 0)
 	if opt, ok := query.EDNS(); ok {
 		limit = s.bucketLimit(true, opt.UDPSize)
 	}
-	respBuf, err = resp.AppendPack(respBuf[:0])
+	bufs.resp, err = resp.AppendPack(bufs.resp[:0])
 	if err != nil {
-		return respBuf
+		return
 	}
-	if len(respBuf) > limit {
+	if len(bufs.resp) > limit {
 		tc := &dnswire.Message{Header: resp.Header, Questions: resp.Questions}
 		tc.Header.Truncated = true
-		if respBuf, err = tc.AppendPack(respBuf[:0]); err != nil {
-			return respBuf
+		if bufs.resp, err = tc.AppendPack(bufs.resp[:0]); err != nil {
+			return
 		}
 	}
-	if cacheable {
-		st.cache.put(key, respBuf)
+	if sh.ok && st.cache != nil {
+		bufs.key = append(bufs.key[:0], pkt[udpHeaderLen:sh.qEnd]...)
+		bufs.key = append(bufs.key, s.bucketByte(sh))
+		st.cache.put(bufs.key, bufs.resp)
 	}
-	_, _ = conn.WriteToUDPAddrPort(respBuf, raddr)
-	return respBuf
+	s.respond(conn, shard, bufs, pkt, sh, raddr, flow)
+}
+
+// respond is the single egress funnel for UDP responses: the RRL verdict
+// (send / drop / answer with a TC slip) is taken here from the raw response
+// bytes, then the emulated link admits whatever survives. Both the hit and
+// slow paths converge on this method, so serve/rrl/decide has exactly one
+// evaluation site and verdict order per client follows the client's own
+// arrival order.
+//
+//rootlint:hotpath
+func (s *Server) respond(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, sh queryShape, raddr netip.AddrPort, flow uint64) {
+	if s.rrl != nil {
+		switch s.rrl.decide(bufs.rrlKey, raddr.Addr(), rrlClassify(bufs.resp)) {
+		case rrlDrop:
+			return
+		case rrlSlip:
+			if !sh.ok {
+				// No fast-parsed question to stitch a stub from; the
+				// slow decoder accepted something the stub builder can't
+				// reproduce byte-exactly, so suppress entirely.
+				return
+			}
+			bufs.resp = appendSlipStub(bufs.resp, pkt, sh.qEnd)
+		}
+	}
+	first, second := s.link.Admit(netem.Egress, flow, bufs.resp)
+	if first != nil {
+		_, _ = conn.WriteToUDPAddrPort(first, raddr)
+	}
+	if second != nil {
+		_, _ = conn.WriteToUDPAddrPort(second, raddr)
+	}
 }

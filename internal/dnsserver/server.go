@@ -21,9 +21,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/axfr"
 	"repro/internal/dnswire"
+	"repro/internal/netem"
 	"repro/internal/telemetry"
 	"repro/internal/zone"
 )
@@ -64,6 +66,28 @@ type Config struct {
 	DisableCache bool
 	// CacheBytes bounds the response cache; 0 means the 8 MiB default.
 	CacheBytes int64
+	// RRL enables BIND-style response-rate-limiting on the UDP path when
+	// Rate > 0 (see RRLConfig). The zero value leaves it off with no cost
+	// on the hot path beyond one nil check.
+	RRL RRLConfig
+	// Netem applies a deterministic adverse-network profile at the socket
+	// boundary: UDP datagrams pass the emulated link on ingress and
+	// egress, and accepted TCP connections may be cut mid-stream. The
+	// zero profile is off.
+	Netem netem.Profile
+	// QueueDepth bounds each shard's slow-path queue (cache misses wait
+	// here for the shard's decode worker; a full queue sheds the query).
+	// 0 means 256.
+	QueueDepth int
+	// TCPTimeout is the per-connection idle deadline: every read or write
+	// on an accepted TCP connection must make progress within it, so one
+	// stalled or half-open peer cannot pin a server goroutine. 0 means 2
+	// minutes; negative disables deadlines.
+	TCPTimeout time.Duration
+	// MaxTCPConns caps concurrently served TCP connections; connections
+	// over the cap are closed at accept. 0 means 64; negative is
+	// unlimited.
+	MaxTCPConns int
 }
 
 // serveState is everything a query touches that SetZone replaces: the zone
@@ -84,6 +108,10 @@ type Server struct {
 	state   atomic.Pointer[serveState]
 	udps    []*net.UDPConn
 	tcp     net.Listener
+	rrl     *rrlState   // nil when RRL is off
+	link    *netem.Link // nil when netem is off
+	slow    []*slowQueue
+	tcpSem  chan struct{} // nil when the connection cap is unlimited
 	wg      sync.WaitGroup
 	closed  chan struct{}
 	started bool
@@ -100,7 +128,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.UDPSize == 0 {
 		cfg.UDPSize = dnswire.MaxUDPPayload
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.TCPTimeout == 0 {
+		cfg.TCPTimeout = 2 * time.Minute
+	}
+	if cfg.MaxTCPConns == 0 {
+		cfg.MaxTCPConns = 64
+	}
 	s := &Server{cfg: cfg, closed: make(chan struct{})}
+	s.rrl = newRRL(cfg.RRL)
+	s.link = netem.NewLink(cfg.Netem)
+	if cfg.MaxTCPConns > 0 {
+		s.tcpSem = make(chan struct{}, cfg.MaxTCPConns)
+	}
 	s.state.Store(s.makeState(cfg.Zone))
 	return s, nil
 }
@@ -169,9 +211,13 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	s.udps, s.tcp = udps, tcp
 	s.started = true
-	s.wg.Add(workers + 1)
+	s.slow = make([]*slowQueue, workers)
+	s.wg.Add(2*workers + 1)
 	for i := 0; i < workers; i++ {
-		go s.serveUDPLoop(s.udps[i%len(s.udps)], i)
+		conn := s.udps[i%len(s.udps)]
+		s.slow[i] = newSlowQueue(s.cfg.QueueDepth)
+		go s.serveUDPLoop(conn, i)
+		go s.slowWorker(conn, i, s.slow[i])
 	}
 	go s.serveTCP()
 	return udps[0].LocalAddr(), nil
@@ -212,10 +258,17 @@ func (s *Server) listenShards(addr string, workers int) ([]*net.UDPConn, error) 
 	return []*net.UDPConn{udp}, nil
 }
 
-// Close stops the listeners and waits for in-flight handlers.
+// Close stops the listeners and waits for in-flight handlers. It is
+// idempotent: later calls wait for the same shutdown and return nil.
 func (s *Server) Close() error {
 	if !s.started {
 		return nil
+	}
+	select {
+	case <-s.closed:
+		s.wg.Wait()
+		return nil
+	default:
 	}
 	close(s.closed)
 	for _, c := range s.udps {
@@ -238,11 +291,32 @@ func (s *Server) serveTCP() {
 				continue
 			}
 		}
+		if s.tcpSem != nil {
+			select {
+			case s.tcpSem <- struct{}{}:
+			default:
+				// Over the concurrent-connection cap: refuse at accept so a
+				// connection flood can't spawn unbounded goroutines.
+				mTCPRejects.Inc()
+				conn.Close()
+				continue
+			}
+		}
+		// The emulated link may cut this connection mid-stream; the idle
+		// deadline guarantees a stalled or half-open peer releases the
+		// goroutine (and its semaphore slot) in bounded time.
+		wrapped := s.link.WrapConn(conn)
+		if s.cfg.TCPTimeout > 0 {
+			wrapped = &axfr.DeadlineConn{Conn: wrapped, Timeout: s.cfg.TCPTimeout}
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			s.serveConn(conn)
+			if s.tcpSem != nil {
+				defer func() { <-s.tcpSem }()
+			}
+			s.serveConn(wrapped)
 		}()
 	}
 }

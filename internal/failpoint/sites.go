@@ -50,4 +50,18 @@ var Sites = []Site{
 	{Name: "measure/worker/probe", Kill: false},
 	// Worker transfer stage, under supervision; see measure/worker/probe.
 	{Name: "measure/worker/transfer", Kill: false},
+	// Head of netem.Link.Admit: an injected error is a forced drop, so the
+	// chaos harness can vanish any single packet without probability
+	// arithmetic. Not kill-capable: packet fates are absorbed losses, and
+	// the link carries no checkpointed state.
+	{Name: "netem/inject", Kill: false},
+	// RRL verdict funnel in the serve path: an injected error forces a
+	// drop verdict for one response. Not kill-capable: the RRL table is
+	// volatile serving state, excluded from checkpoints by construction
+	// (TestRRLStateExcludedFromCheckpoints).
+	{Name: "serve/rrl/decide", Kill: false},
+	// Slow-path enqueue in the sharded UDP serve loop: an injected error
+	// forces an overload shed for one query. Not kill-capable for the same
+	// reason as the RRL site.
+	{Name: "serve/shed", Kill: false},
 }

@@ -47,3 +47,10 @@ func wallTrailing() time.Time {
 func globalAllowed() int {
 	return rand.Int() //rootlint:allow globalrand: fixture exercises a globalrand allow
 }
+
+// A time-seeded generator is the classic fake determinism: the *rand.Rand
+// is explicitly seeded, but the seed itself reads the wall clock, so two
+// runs draw different fates. The analyzer catches it at the clock read.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now reads the wall clock"
+}

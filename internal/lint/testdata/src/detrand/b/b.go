@@ -28,3 +28,18 @@ func format(t time.Time) string { return t.Format(time.RFC3339) }
 func window(d time.Duration) time.Duration { return d * 2 }
 
 func draw(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// The netem idiom: no rand at all — every decision is a pure hash of
+// (seed, flow, index), which is exactly what the analyzer exists to push
+// code toward.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func fate(seed, flow, idx uint64, p float64) bool {
+	h := splitmix64(seed ^ flow + idx*0x9e3779b97f4a7c15)
+	return float64(h>>11)/(1<<53) < p
+}

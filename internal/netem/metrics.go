@@ -1,0 +1,18 @@
+package netem
+
+import "repro/internal/telemetry"
+
+// Netem counters are process-class: with a fixed profile seed and a
+// deterministic per-flow offered sequence (the battery's serial client, or
+// rootblast at window 1), every fate is a pure function of the seed, so the
+// counts agree across runs and across serve-worker counts — that is exactly
+// what the check.sh adversarial determinism step compares with
+// `rootanalyze -diff`. They are not stream-class: they count what this
+// process's emulated link did, which a resumed run legitimately repeats.
+var (
+	mDrops    = telemetry.NewCounter("netem/drops")
+	mDups     = telemetry.NewCounter("netem/dups")
+	mReorders = telemetry.NewCounter("netem/reorders")
+	mCorrupts = telemetry.NewCounter("netem/corrupts")
+	mCuts     = telemetry.NewCounter("netem/cuts")
+)

@@ -125,6 +125,21 @@ var Registry = []Def{
 	{Name: "failpoint/kills", Kind: KindCounter, Class: ClassProcess, Help: "failpoint sites fired with a kill action"},
 	{Name: "campaign/queue_depth", Kind: KindGauge, Class: ClassProcess, Help: "VP shards remaining in the in-flight tick"},
 
+	// Adversarial transport. Process-class: with a fixed netem seed and a
+	// deterministic per-flow offered sequence, every netem fate and every
+	// RRL verdict is a pure function of the seed — identical across runs
+	// and serve-worker counts (the check.sh adversity step diffs exactly
+	// these) — but they count emulated-link/limiter work this process
+	// performed, which a resume legitimately repeats.
+	{Name: "netem/drops", Kind: KindCounter, Class: ClassProcess, Help: "packets dropped by the emulated link (loss, blackhole, forced)"},
+	{Name: "netem/dups", Kind: KindCounter, Class: ClassProcess, Help: "packets duplicated by the emulated link"},
+	{Name: "netem/reorders", Kind: KindCounter, Class: ClassProcess, Help: "packet pairs delivered out of order by the emulated link"},
+	{Name: "netem/corrupts", Kind: KindCounter, Class: ClassProcess, Help: "packets bit-flipped by the emulated link"},
+	{Name: "netem/cuts", Kind: KindCounter, Class: ClassProcess, Help: "TCP connections severed mid-stream by the emulated link"},
+	{Name: "rrl/drops", Kind: KindCounter, Class: ClassProcess, Help: "responses suppressed entirely by response-rate-limiting"},
+	{Name: "rrl/slips", Kind: KindCounter, Class: ClassProcess, Help: "rate-limited responses answered with a truncated (TC) slip instead of a drop"},
+	{Name: "rrl/evictions", Kind: KindCounter, Class: ClassProcess, Help: "RRL buckets evicted by the table byte budget"},
+
 	// Nondeterministic namespace: environment facts, wall-clock durations,
 	// and socket-serving counts whose values depend on packet arrival order
 	// across shards. Histograms are only recorded while telemetry is
@@ -133,9 +148,13 @@ var Registry = []Def{
 	{Name: "dns/cache/hits", Kind: KindCounter, Class: ClassVolatile, Help: "UDP response-cache hits (served from cached wire bytes)"},
 	{Name: "dns/cache/misses", Kind: KindCounter, Class: ClassVolatile, Help: "UDP response-cache misses (responses built and inserted)"},
 	{Name: "dns/cache/evictions", Kind: KindCounter, Class: ClassVolatile, Help: "response-cache entries evicted by the byte budget"},
+	{Name: "serve/sheds", Kind: KindCounter, Class: ClassVolatile, Help: "queries dropped because a shard's slow-path queue was full (overload shed; depends on drain timing)"},
+	{Name: "serve/tcp_rejects", Kind: KindCounter, Class: ClassVolatile, Help: "TCP connections refused over the concurrent-connection cap (depends on accept timing)"},
 	{Name: "blast/sent", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries sent"},
 	{Name: "blast/received", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast responses matched to an outstanding query"},
 	{Name: "blast/timeouts", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries reaped unanswered"},
+	{Name: "blast/retries", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries re-sent after a per-attempt deadline expired"},
+	{Name: "blast/lost", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries abandoned after the retry budget (sent == received + lost at exit)"},
 	{Name: "blast/mismatches", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast datagrams that matched no outstanding query"},
 	{Name: "wallclock/blast_rtt_us", Kind: KindHistogram, Class: ClassVolatile, Help: "rootblast query round-trip time"},
 	{Name: "wallclock/tick_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per tick (compute + drain)"},

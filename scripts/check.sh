@@ -41,6 +41,18 @@ echo "== chaos matrix =="
 go test -run 'TestChaos|TestSeal|TestWorker|TestResume|TestTornTail|TestCorruptBlock|TestReplay' \
 	./internal/measure ./internal/dataset
 
+# Adversarial transport: the netem fate engine, RRL verdict determinism
+# (including the forced-drop and forced-shed failpoints), truncation
+# fallback and AXFR retry under seeded loss/cuts, and blast-under-loss
+# accounting (sent == received + lost with no goroutine leaks).
+echo "== adversarial transport tests =="
+go test -count=1 \
+	-run 'TestRRL|TestChaosForced|TestTCFallbackUnderNetem|TestAXFRRetryAfterNetemCut|TestRunUnderLoss|TestRunBlackhole|Test' \
+	./internal/netem &&
+go test -count=1 \
+	-run 'TestRRL|TestChaosForced|TestTCFallbackUnderNetem|TestAXFRRetryAfterNetemCut|TestRunUnderLossCompletes|TestRunBlackholeTerminates' \
+	./internal/dnsserver ./internal/blast
+
 # Snapshot-diff self-check: record a small campaign dataset, replay it
 # serially and with a 4-worker decode pool, and require the telemetry
 # snapshots to agree on every logical metric. This exercises the shipping
@@ -57,3 +69,33 @@ go build -o "$tmp/rootanalyze" ./cmd/rootanalyze
 "$tmp/rootanalyze" -in "$tmp/study.rgds" -vpscale 8 -tlds 20 -workers 4 \
 	-metrics "$tmp/parallel.json" >/dev/null
 "$tmp/rootanalyze" -diff "$tmp/serial.json" "$tmp/parallel.json"
+
+# Blast under loss with RRL on, serve-workers 1 vs 4: the PR-8 acceptance
+# check. A serial retrying blast drives a server whose emulated link drops
+# and corrupts packets and whose rate limiter suppresses repeats, all
+# seed-pinned; the logical telemetry snapshots (netem fates, RRL verdicts,
+# queries handled) must be byte-identical across worker counts.
+echo "== adversarial determinism (rrl+netem, serve-workers 1 vs 4) =="
+go build -o "$tmp/rootserve" ./cmd/rootserve
+go build -o "$tmp/rootblast" ./cmd/rootblast
+for w in 1 4; do
+	"$tmp/rootserve" -addr 127.0.0.1:0 -tlds 20 -serve-workers "$w" \
+		-netem "loss=0.1,corrupt=0.05,seed=42" \
+		-rrl "rate=0.5,burst=1,slip=2,seed=7" \
+		-metrics "$tmp/adv-$w.json" >"$tmp/adv-$w.log" &
+	srv=$!
+	port=""
+	i=0
+	while [ $i -lt 100 ]; do
+		port=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9]*\) (udp+tcp)$/\1/p' "$tmp/adv-$w.log")
+		[ -n "$port" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	[ -n "$port" ] || { echo "rootserve (workers=$w) never bound" >&2; exit 1; }
+	"$tmp/rootblast" -server "127.0.0.1:$port" -count 120 -blast-workers 1 \
+		-window 1 -tlds 20 -timeout 50ms -retry 2 -backoff 2ms >/dev/null
+	kill -INT "$srv"
+	wait "$srv"
+done
+"$tmp/rootanalyze" -diff "$tmp/adv-1.json" "$tmp/adv-4.json"
