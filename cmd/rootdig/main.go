@@ -26,7 +26,7 @@ func main() {
 
 	c := dnsclient.New(*server)
 	if *dnssec {
-		c.EDNSSize = 4096
+		c.SetEDNSSize(4096)
 	}
 
 	switch {

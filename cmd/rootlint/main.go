@@ -9,25 +9,29 @@
 //
 // Usage:
 //
-//	rootlint [-list] [packages]
+//	rootlint [-list] [-time] [packages]
 //
 // The package arguments are accepted for familiarity ("./...") but the
 // whole enclosing module is always analyzed: every invariant here is a
-// whole-program property.
+// whole-program property. -time prints per-analyzer wall time to stderr
+// (plus the load/type-check time), which is what scripts/check.sh uses to
+// keep whole-program passes from rotting the edit loop.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	timing := flag.Bool("time", false, "print per-analyzer wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rootlint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: rootlint [-list] [-time] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -40,15 +44,37 @@ func main() {
 		return
 	}
 
+	t0 := time.Now()
 	prog, err := lint.LoadModule(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rootlint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAnalyzers(prog, lint.Suite())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rootlint:", err)
-		os.Exit(2)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "rootlint: %-14s %8.0fms\n", "load+typecheck", time.Since(t0).Seconds()*1000)
+	}
+
+	var diags []lint.Diagnostic
+	if *timing {
+		// Run analyzers one at a time so each gets its own wall-time line;
+		// RunAnalyzers sorts within each call and the final report re-sorts
+		// nothing, so ordering per analyzer stays deterministic.
+		for _, a := range lint.Suite() {
+			ta := time.Now()
+			ds, err := lint.RunAnalyzers(prog, []*lint.Analyzer{a})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rootlint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "rootlint: %-14s %8.0fms\n", a.Name, time.Since(ta).Seconds()*1000)
+			diags = append(diags, ds...)
+		}
+	} else {
+		diags, err = lint.RunAnalyzers(prog, lint.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rootlint:", err)
+			os.Exit(2)
+		}
 	}
 	for _, d := range diags {
 		p := prog.Fset.Position(d.Pos)

@@ -59,7 +59,7 @@ func main() {
 
 	// Priming query, like a resolver booting against the local root.
 	client := dnsclient.New(addr.String())
-	client.EDNSSize = 4096
+	client.SetEDNSSize(4096)
 	resp, err := client.Query(dnswire.Root, dnswire.TypeNS)
 	if err != nil {
 		log.Fatal(err)

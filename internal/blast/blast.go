@@ -374,15 +374,24 @@ type worker struct {
 	// wedge the head against a still-pending tail. A retried entry keeps
 	// its ring slot with a refreshed timestamp — never re-appended, so the
 	// ring can't overflow and an ID is never in the ring twice.
-	pending     []int64
-	attempts    []uint8
-	wireIdx     []int32
-	ring        []uint16
-	head, tail  int
+	//rootlint:shardconfined Run,worker.run
+	pending []int64
+	//rootlint:shardconfined Run,worker.run
+	attempts []uint8
+	//rootlint:shardconfined Run,worker.run
+	wireIdx []int32
+	//rootlint:shardconfined Run,worker.run
+	ring []uint16
+	//rootlint:shardconfined Run,worker.run
+	head, tail int
+	//rootlint:shardconfined Run,worker.run
 	outstanding int
-	ci          int // corpus cursor
-	idCtr       uint32
+	//rootlint:shardconfined Run,worker.run
+	ci int // corpus cursor
+	//rootlint:shardconfined Run,worker.run
+	idCtr uint32
 
+	//rootlint:shardconfined Run,worker.run
 	sent, received, lost, retried, timeouts, mismatches int64
 }
 

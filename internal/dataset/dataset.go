@@ -429,7 +429,14 @@ type Reader struct {
 	// cities resolves metro codes back to geo.City.
 	cities map[string]geo.City
 
-	torn    bool
+	// Tear state belongs to the goroutine that owns the Reader: the serial
+	// read path and the parallel drain (runParallel joins its scanner and
+	// workers before returning, so ownership is whole again by the time
+	// Torn/TornReason can run). The three named methods are the only touch
+	// points; new code must go through them.
+	//rootlint:shardconfined Reader.tear,Reader.Torn,Reader.TornReason
+	torn bool
+	//rootlint:shardconfined Reader.tear,Reader.Torn,Reader.TornReason
 	tornErr error
 }
 

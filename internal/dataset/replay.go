@@ -192,11 +192,21 @@ func (st *replayState) runParallel() error {
 	quit := make(chan struct{})
 	var quitOnce sync.Once
 	stop := func() { quitOnce.Do(func() { close(quit) }) }
+	// Join the pool on every exit path, including early error returns: the
+	// caller owns the Reader (byte stream and tear state) the moment this
+	// function returns, so no scanner or worker may outlive it. stop() is
+	// registered after wg.Wait so it runs first and unblocks the scanner's
+	// quit selects; workers then drain `work` (closed by the scanner) and
+	// exit — their result sends never block because res is buffered.
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	defer stop()
 
 	// Scanner: owns the Reader's byte stream, never mutates tear state —
 	// truncation is applied by the drain at the torn block's position.
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(work)
 		defer close(pending)
 		for {
@@ -224,7 +234,9 @@ func (st *replayState) runParallel() error {
 		}
 	}()
 	for i := 0; i < st.opts.Workers; i++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for j := range work {
 				j.res <- st.d.decodeBlock(j.f)
 			}

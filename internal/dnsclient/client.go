@@ -24,23 +24,31 @@ var (
 	ErrIDMismatch = errors.New("dnsclient: response ID mismatch")
 )
 
-// Client issues DNS queries to one server address.
+// Client issues DNS queries to one server address. The exported fields are
+// configuration: callers set them before the first query and leave them
+// alone, so concurrent queries on one client are safe.
 type Client struct {
 	// Addr is the server's host:port.
+	//rootlint:immutable-after-start
 	Addr string
 	// Timeout bounds each network attempt (dig +timeout). Default 1s.
+	//rootlint:immutable-after-start
 	Timeout time.Duration
 	// Retries is the number of re-sends after the first attempt
 	// (dig +retry). The paper's battery uses 0.
+	//rootlint:immutable-after-start
 	Retries int
 	// EDNSSize, when non-zero, attaches an OPT record advertising this
 	// payload size with the DO bit set.
+	//rootlint:immutable-after-start
 	EDNSSize uint16
 	// Backoff paces re-sends between retry attempts. The zero value —
 	// retry immediately, like dig — is the battery default; see Backoff.
+	//rootlint:immutable-after-start
 	Backoff Backoff
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	rng *rand.Rand
 }
 
@@ -75,6 +83,17 @@ func NewSeeded(addr string, seed int64) *Client {
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
+
+// SetTimeout replaces the per-attempt timeout. Like all Client
+// configuration it must happen before the first query; lockcheck enforces
+// that plain writes to config fields stay inside constructors and Set*
+// swap points.
+func (c *Client) SetTimeout(d time.Duration) { c.Timeout = d }
+
+// SetEDNSSize configures the client to attach an OPT record advertising
+// this payload size with the DO bit set (0 disables EDNS). Call before the
+// first query.
+func (c *Client) SetEDNSSize(n uint16) { c.EDNSSize = n }
 
 func (c *Client) nextID() uint16 {
 	c.mu.Lock()

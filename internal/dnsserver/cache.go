@@ -23,12 +23,17 @@ const cacheEntryOverhead = 64
 // (delegations, apex RRsets) is inserted early and junk NXDOMAINs churn the
 // tail.
 type respCache struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//rootlint:guardedby mu
 	entries map[string][]byte
-	keys    []string // insertion order; keys[evictHead:] are live
-	evict   int      // index of the oldest live key
-	bytes   int64
-	budget  int64
+	//rootlint:guardedby mu
+	keys []string // insertion order; keys[evictHead:] are live
+	//rootlint:guardedby mu
+	evict int // index of the oldest live key
+	//rootlint:guardedby mu
+	bytes int64
+	//rootlint:immutable-after-start
+	budget int64
 }
 
 func newRespCache(budget int64) *respCache {

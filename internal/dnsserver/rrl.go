@@ -162,14 +162,20 @@ const rrlBucketOverhead = 80
 // beats a per-shard split, which would make verdicts depend on kernel
 // flow-hashing.
 type rrlState struct {
-	cfg    RRLConfig
+	//rootlint:immutable-after-start
+	cfg RRLConfig
+	//rootlint:immutable-after-start
 	credit int64 // per-query deposit, fixed point
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	buckets map[string]*rrlBucket
-	keys    []string // insertion order; keys[evict:] are live
-	evict   int
-	bytes   int64
+	//rootlint:guardedby mu
+	keys []string // insertion order; keys[evict:] are live
+	//rootlint:guardedby mu
+	evict int
+	//rootlint:guardedby mu
+	bytes int64
 }
 
 // newRRL builds the limiter, or nil when cfg.Rate is zero (disabled): the

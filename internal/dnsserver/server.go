@@ -101,19 +101,29 @@ type serveState struct {
 	cache *respCache // nil when the cache is disabled
 }
 
-// Server is an authoritative DNS server bound to UDP and TCP sockets.
+// Server is an authoritative DNS server bound to UDP and TCP sockets. Apart
+// from the swappable serve state, every field is fixed by New or Start before
+// any serving goroutine exists.
 type Server struct {
+	//rootlint:immutable-after-start
 	cfg Config
 
-	state   atomic.Pointer[serveState]
-	udps    []*net.UDPConn
-	tcp     net.Listener
-	rrl     *rrlState   // nil when RRL is off
-	link    *netem.Link // nil when netem is off
-	slow    []*slowQueue
-	tcpSem  chan struct{} // nil when the connection cap is unlimited
-	wg      sync.WaitGroup
-	closed  chan struct{}
+	state atomic.Pointer[serveState]
+	//rootlint:immutable-after-start
+	udps []*net.UDPConn
+	//rootlint:immutable-after-start
+	tcp net.Listener
+	//rootlint:immutable-after-start
+	rrl *rrlState // nil when RRL is off
+	//rootlint:immutable-after-start
+	link *netem.Link // nil when netem is off
+	//rootlint:immutable-after-start
+	slow []*slowQueue
+	//rootlint:immutable-after-start
+	tcpSem chan struct{} // nil when the connection cap is unlimited
+	wg     sync.WaitGroup
+	closed chan struct{}
+	//rootlint:immutable-after-start
 	started bool
 }
 

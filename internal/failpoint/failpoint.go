@@ -49,7 +49,9 @@ const (
 )
 
 type site struct {
-	act   action
+	//rootlint:immutable-after-start
+	act action
+	//rootlint:immutable-after-start
 	at    int64
 	hits  atomic.Int64
 	fired atomic.Bool
@@ -59,6 +61,31 @@ type plan struct{ sites map[string]*site }
 
 // active holds the current plan; nil when chaos mode is off.
 var active atomic.Pointer[plan]
+
+// newSite parses one action[@N] clause; part is the full clause for error
+// text. Sites are fully built before the plan is published, so act and at
+// never change after construction.
+func newSite(actName, atStr string, hasAt bool, part string) (*site, error) {
+	s := &site{at: 1}
+	switch actName {
+	case "panic":
+		s.act = actPanic
+	case "error":
+		s.act = actError
+	case "kill":
+		s.act = actKill
+	default:
+		return nil, fmt.Errorf("failpoint: unknown action %q in %q", actName, part)
+	}
+	if hasAt {
+		n, err := strconv.ParseInt(atStr, 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("failpoint: bad hit count in %q", part)
+		}
+		s.at = n
+	}
+	return s, nil
+}
 
 // Enable parses spec and activates it, replacing any previous plan.
 func Enable(spec string) error {
@@ -73,23 +100,9 @@ func Enable(spec string) error {
 			return fmt.Errorf("failpoint: bad spec %q (want site=action[@N])", part)
 		}
 		actName, atStr, hasAt := strings.Cut(rest, "@")
-		s := &site{at: 1}
-		switch actName {
-		case "panic":
-			s.act = actPanic
-		case "error":
-			s.act = actError
-		case "kill":
-			s.act = actKill
-		default:
-			return fmt.Errorf("failpoint: unknown action %q in %q", actName, part)
-		}
-		if hasAt {
-			n, err := strconv.ParseInt(atStr, 10, 64)
-			if err != nil || n < 1 {
-				return fmt.Errorf("failpoint: bad hit count in %q", part)
-			}
-			s.at = n
+		s, err := newSite(actName, atStr, hasAt, part)
+		if err != nil {
+			return err
 		}
 		p.sites[name] = s
 	}

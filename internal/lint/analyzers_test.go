@@ -23,6 +23,14 @@ func TestMetricname(t *testing.T) { linttest.Run(t, lint.Metricname, "metricname
 
 func TestDirective(t *testing.T) { linttest.Run(t, lint.Directive, "directive") }
 
+// The lockcheck fixture is deliberately multi-file (a/a.go + a/helper.go)
+// and multi-package (a + shard, with the confinement violation crossing the
+// package boundary): one linttest run covers wants everywhere the loader
+// finds them.
+func TestLockcheck(t *testing.T) { linttest.Run(t, lint.Lockcheck, "lockcheck") }
+
+func TestLeakcheck(t *testing.T) { linttest.Run(t, lint.Leakcheck, "leakcheck") }
+
 // TestSuiteCleanOnRepo is the same gate as `make lint`: the full analyzer
 // suite over the whole module must report nothing. Keeping it as a test
 // means plain `go test ./...` catches a new violation even when the lint

@@ -22,7 +22,13 @@ import (
 //   - append whose base operand is a freshly allocated slice
 //     (append(make([]T, 0), ...), append([]T{}, ...), append([]byte(s),
 //     ...)) — guarantees a fresh backing array per call instead of reusing
-//     a pooled or caller-provided buffer.
+//     a pooled or caller-provided buffer;
+//   - a method value (x.M used as a value rather than called) — each
+//     evaluation allocates a closure binding the receiver;
+//   - append whose base operand is returned by a method called through an
+//     interface receiver — the implementation is unknown at the call site,
+//     so the compiler can neither inline it nor prove the returned slice
+//     reusable, and escape analysis heap-allocates what it returns.
 //
 // Cold paths inside a hot function (error returns that fire once per
 // process, build-once construction guarded by sync.Once-style flags) are
@@ -90,6 +96,10 @@ func checkHotFunc(pass *Pass, allows *Allows, fd *ast.FuncDecl) {
 			if capturesOuter(pass, fd, x) && !immediatelyInvoked(stack, x) {
 				report(x.Pos(), "%s: closure captures enclosing variables and escapes; captured variables are forced to the heap", fd.Name.Name)
 			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
+				report(x.Pos(), "%s: method value %s allocates a bound-method closure per evaluation; call the method directly or hoist the binding off the hot path", fd.Name.Name, types.ExprString(x))
+			}
 		}
 		stack = append(stack, n)
 		ast.Inspect(n, func(child ast.Node) bool {
@@ -147,8 +157,32 @@ func freshSliceExpr(info *types.Info, e ast.Expr) (string, bool) {
 				return "a slice conversion", true
 			}
 		}
+		// A slice returned by a method dispatched through an interface: the
+		// implementation behind the call is unknown, so the result must be
+		// assumed freshly heap-allocated.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+				return "a slice returned through an interface method", true
+			}
+		}
 	}
 	return "", false
+}
+
+// isCallFun reports whether e is the function operand of its nearest
+// enclosing call — x.M() dispatches directly, while a bare x.M binds.
+func isCallFun(stack []ast.Node, e ast.Expr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return ast.Unparen(parent.Fun) == e
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 func isStringExpr(info *types.Info, e ast.Expr) bool {

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leakcheck flags `go func` literals that can block forever on an unbuffered
+// channel: a bare send, receive, or range with no select escape. If the peer
+// goroutine exits early (error return, closed listener, test timeout), the
+// blocked sender leaks — the bug class PR 8's blast shutdown work fixed by
+// hand, now caught structurally.
+//
+// A channel is treated as unbuffered only when every make() assigned to it
+// in the package is capacity-free, so unknown or buffered channels stay
+// silent. A select with two or more cases (including default) is an escape;
+// a single-case select is equivalent to the bare operation and is still a
+// finding. Intentional blocking (a worker parked on a work channel whose
+// sender provably closes it) carries //rootlint:allow leakcheck: <reason>.
+var Leakcheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "reports goroutines that can block forever on unbuffered channel ops with no select escape",
+	Run:  runLeakcheck,
+}
+
+// chanState tracks what the package's assignments prove about a channel var.
+type chanState int
+
+const (
+	chanUnknown chanState = iota
+	chanUnbuffered
+	chanPoisoned // buffered or assigned something we cannot see through
+)
+
+func runLeakcheck(pass *Pass) error {
+	allows := pass.allows()
+	states := collectChanStates(pass)
+	unbuffered := func(e ast.Expr) (string, bool) {
+		obj := chanObj(pass.Info, e)
+		if obj == nil || states[obj] != chanUnbuffered {
+			return "", false
+		}
+		return obj.Name(), true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, allows, lit.Body, unbuffered)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoroutineBody(pass *Pass, allows *Allows, body *ast.BlockStmt, unbuffered func(ast.Expr) (string, bool)) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !allows.Allowed(pos, "leakcheck") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			// Two or more cases (default included) give the goroutine an
+			// escape; a single-case select is the bare op in disguise.
+			if len(x.Body.List) >= 2 {
+				return false
+			}
+		case *ast.SendStmt:
+			if name, ok := unbuffered(x.Chan); ok {
+				report(x.Arrow, "goroutine blocks on send to unbuffered channel %s with no select escape; a vanished receiver leaks it", name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if name, ok := unbuffered(x.X); ok {
+					report(x.OpPos, "goroutine blocks on receive from unbuffered channel %s with no select escape; a vanished sender leaks it", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if name, ok := unbuffered(x.X); ok {
+						report(x.Range, "goroutine ranges over unbuffered channel %s with no select escape; it leaks unless the channel is always closed", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectChanStates scans the package's assignments for make(chan T) calls
+// and classifies each channel variable or field.
+func collectChanStates(pass *Pass) map[types.Object]chanState {
+	states := make(map[types.Object]chanState)
+	mark := func(obj types.Object, s chanState) {
+		if obj == nil {
+			return
+		}
+		if s == chanPoisoned || states[obj] == chanPoisoned {
+			states[obj] = chanPoisoned
+			return
+		}
+		states[obj] = s
+	}
+	classify := func(lhs, rhs ast.Expr) {
+		obj := chanObj(pass.Info, lhs)
+		if obj == nil {
+			return
+		}
+		if t := pass.Info.TypeOf(lhs); t == nil {
+			return
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		switch state := makeChanState(pass.Info, rhs); state {
+		case chanUnknown:
+			mark(obj, chanPoisoned)
+		default:
+			mark(obj, state)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						classify(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						classify(x.Names[i], x.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal field init: ch: make(chan T).
+				if key, ok := x.Key.(*ast.Ident); ok {
+					if obj, isVar := pass.Info.Uses[key].(*types.Var); isVar && obj.IsField() {
+						if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+							state := makeChanState(pass.Info, x.Value)
+							if state == chanUnknown {
+								state = chanPoisoned
+							}
+							mark(obj, state)
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					mark(chanObj(pass.Info, x.X), chanPoisoned)
+				}
+			}
+			return true
+		})
+	}
+	return states
+}
+
+// makeChanState classifies a right-hand side: make(chan T) is unbuffered,
+// make(chan T, n) is buffered (poisoned — it cannot block-forever the same
+// way), anything else is unknown.
+func makeChanState(info *types.Info, rhs ast.Expr) chanState {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return chanUnknown
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return chanUnknown
+	}
+	if b, ok := info.Uses[ident].(*types.Builtin); !ok || b.Name() != "make" {
+		return chanUnknown
+	}
+	if tv, ok := info.Types[call.Args[0]]; !ok || tv.Type == nil {
+		return chanUnknown
+	} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return chanUnknown
+	}
+	if len(call.Args) == 1 {
+		return chanUnbuffered
+	}
+	return chanPoisoned
+}
+
+// chanObj resolves a channel expression to the variable or field it names.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok {
+			return obj
+		}
+		if obj, ok := info.Defs[x].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.IsField() {
+			return obj
+		}
+	}
+	return nil
+}

@@ -24,7 +24,26 @@
 //	    Suppresses findings of the named categories on the same line (when
 //	    trailing code) or on the line directly below (when standing alone).
 //	    The reason is mandatory: an allow without a justification is itself
-//	    a finding. Categories: wallclock, globalrand, hotpath, maporder.
+//	    a finding. Categories: wallclock, globalrand, hotpath, maporder,
+//	    lockcheck, leakcheck.
+//
+//	//rootlint:guardedby <mutexField>
+//	    On a struct field (or package var): every access must happen while
+//	    the named sync.Mutex/RWMutex field on the same base value is held.
+//
+//	//rootlint:atomic
+//	    On a struct field: every access must go through the sync/atomic
+//	    API; any plain read or write (mixed regimes) is a finding.
+//
+//	//rootlint:shardconfined <root>[,<root>...]
+//	    On a struct field: the field may be touched only from the named
+//	    root functions or from functions reachable exclusively from them
+//	    (a whole-program caller walk). Roots are names in the struct's
+//	    package: "loop" or "Type.method".
+//
+//	//rootlint:immutable-after-start
+//	    On a struct field: written only by constructors (New*/new*), init,
+//	    Set*/set* swap points, and Start/start; read-only everywhere else.
 package lint
 
 import (
@@ -136,7 +155,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Suite returns the full rootlint analyzer suite in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Metricname, Orderedmap}
+	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Metricname, Orderedmap, Lockcheck, Leakcheck}
 }
 
 // --- //rootlint: directive parsing -----------------------------------------
@@ -165,6 +184,8 @@ var knownCategories = map[string]bool{
 	"globalrand": true,
 	"hotpath":    true,
 	"maporder":   true,
+	"lockcheck":  true,
+	"leakcheck":  true,
 }
 
 // CollectAllows parses every //rootlint:allow directive in files. Grammar
@@ -204,6 +225,14 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) *Allows {
 					e.pos, e.line = c.Pos(), line
 					e.standalone = !codeLines[line]
 					a.entries[tf.Name()] = append(a.entries[tf.Name()], e)
+				case guardVerbs[verb]:
+					// Guard-regime directives are consumed by the lockcheck
+					// analyzer; here only their grammar is validated.
+					if msg := checkGuardGrammar(verb, rest); msg != "" {
+						a.entries[tf.Name()] = append(a.entries[tf.Name()], allowEntry{
+							pos: c.Pos(), line: line, malformed: msg,
+						})
+					}
 				default:
 					a.entries[tf.Name()] = append(a.entries[tf.Name()], allowEntry{
 						pos: c.Pos(), line: line,
@@ -214,6 +243,62 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) *Allows {
 		}
 	}
 	return a
+}
+
+// guardVerbs is the set of lockcheck guard-regime directive verbs.
+var guardVerbs = map[string]bool{
+	"guardedby":             true,
+	"atomic":                true,
+	"shardconfined":         true,
+	"immutable-after-start": true,
+}
+
+// checkGuardGrammar validates the argument shape of a guard-regime
+// directive, returning a description of the grammar error ("" when valid).
+func checkGuardGrammar(verb, rest string) string {
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "guardedby":
+		if rest == "" {
+			return "guardedby needs a mutex field name: //rootlint:guardedby <mutexField>"
+		}
+		if !isGuardName(rest) {
+			return fmt.Sprintf("guardedby argument %q is not a field name", rest)
+		}
+	case "atomic", "immutable-after-start":
+		if rest != "" {
+			return fmt.Sprintf("%s takes no argument", verb)
+		}
+	case "shardconfined":
+		if rest == "" {
+			return "shardconfined needs at least one root function: //rootlint:shardconfined <root>[,<root>...]"
+		}
+		for _, r := range strings.Split(rest, ",") {
+			if !isGuardName(strings.TrimSpace(r)) {
+				return fmt.Sprintf("shardconfined root %q is not a function name", strings.TrimSpace(r))
+			}
+		}
+	}
+	return ""
+}
+
+// isGuardName reports whether s is an identifier or a Type.name pair.
+func isGuardName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, part := range strings.Split(s, ".") {
+		if i > 1 || part == "" {
+			return false
+		}
+		for j, r := range part {
+			ok := r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || (j > 0 && '0' <= r && r <= '9')
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // parseAllow parses the tail of "//rootlint:allow <cats>: <reason>".
@@ -293,13 +378,20 @@ var Directive = &Analyzer{
 func (p *Pass) allows() *Allows {
 	for _, pkg := range p.prog.Packages {
 		if pkg.Path == p.Path {
-			if pkg.Allows == nil {
-				pkg.Allows = CollectAllows(p.Fset, pkg.Files)
-			}
-			return pkg.Allows
+			return p.prog.AllowsFor(pkg)
 		}
 	}
 	return CollectAllows(p.Fset, p.Files)
+}
+
+// AllowsFor returns pkg's parsed allow directives, caching on the
+// PackageInfo so per-package passes and whole-program analyzers share one
+// parse.
+func (prog *Program) AllowsFor(pkg *PackageInfo) *Allows {
+	if pkg.Allows == nil {
+		pkg.Allows = CollectAllows(prog.Fset, pkg.Files)
+	}
+	return pkg.Allows
 }
 
 // funcHasDirective reports whether decl's doc comment carries the given

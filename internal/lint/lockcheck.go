@@ -1,0 +1,1248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockcheck makes the repository's concurrency discipline machine-checked.
+// Fields of concurrently-used structs declare their protection regime with a
+// //rootlint: directive, and the analyzer proves every access site honors it:
+//
+//   - //rootlint:guardedby <mutexField> — the access must happen while the
+//     named sync.Mutex/RWMutex on the same base value is held, tracked by an
+//     intra-procedural lock-state walk over Lock/Unlock/RLock/RUnlock and
+//     defer pairs. Helpers that are only ever called with the lock held are
+//     proven by call-site inference: a function's entry lock set is the
+//     intersection of the lock sets at all of its call sites.
+//   - //rootlint:atomic — every access must go through the sync/atomic API
+//     (atomic.AddInt64(&s.f, ...) for plain-typed fields, s.f.Load()/Store()
+//     for atomic-typed ones). A plain read or write is the classic mixed
+//     atomic/plain bug and is always a finding.
+//   - //rootlint:shardconfined <root>[,<root>...] — the field is owned by one
+//     goroutine: it may be touched only inside the named root functions or
+//     inside functions reachable exclusively from them, established by a
+//     whole-program caller walk (the same shape as failpointsite's).
+//   - //rootlint:immutable-after-start — written only by constructors
+//     (New*/new*/make*/Clone*), init, Set*/set* swap points, and Start/start;
+//     read-only everywhere else.
+//
+// Coverage is enforced, not optional: any struct that carries sync state (a
+// mutex, an atomic, or a padded wrapper of one) must declare a regime on
+// every plain field, so deleting an annotation is itself a finding. A field
+// whose regime is real but unprovable (lock-free publication, external
+// locking) carries a reasoned //rootlint:allow lockcheck: <reason> instead.
+//
+// Known limits, chosen to keep the analysis dependency-free and fast: lock
+// state is tracked per function with branch merging but loops and switches
+// are walked conservatively (acquisitions inside them do not survive the
+// statement); aliases are matched by expression spelling (c.mu and a copy
+// d := &c.deg; d.mu agree only when the access uses the same base); closures
+// inherit their enclosing function's confinement. Test files are not
+// analyzed — tests may poke internals single-threaded.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "proves declared field protection regimes (guardedby/atomic/shardconfined/immutable-after-start)",
+}
+
+func init() {
+	// Assigned in init to break the initialization cycle through Suite.
+	Lockcheck.RunProgram = runLockcheck
+}
+
+type guardRegime int
+
+const (
+	regimeGuarded guardRegime = iota
+	regimeAtomic
+	regimeShard
+	regimeImmutable
+)
+
+func (r guardRegime) String() string {
+	switch r {
+	case regimeGuarded:
+		return "guardedby"
+	case regimeAtomic:
+		return "atomic"
+	case regimeShard:
+		return "shardconfined"
+	default:
+		return "immutable-after-start"
+	}
+}
+
+// guard is one field's declared protection regime.
+type guard struct {
+	regime guardRegime
+	mutex  string   // guardedby: the mutex field (or package var) name
+	roots  []string // shardconfined: root function names in the owning package
+	owner  string   // declaring struct type name ("" for a package var)
+	pkg    *PackageInfo
+}
+
+// lockMode distinguishes read locks from write locks on an RWMutex.
+type lockMode int
+
+const (
+	lockR lockMode = iota + 1
+	lockW
+)
+
+// lockInfo is one held lock: its mode and whether the mutex is a
+// package-level var (those survive same-package call-site translation).
+type lockInfo struct {
+	mode     lockMode
+	pkgLevel bool
+}
+
+type lockSet map[string]lockInfo
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps keys held in both sets, at the weaker mode.
+func intersectLocks(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			m := va.mode
+			if vb.mode < m {
+				m = vb.mode
+			}
+			out[k] = lockInfo{mode: m, pkgLevel: va.pkgLevel && vb.pkgLevel}
+		}
+	}
+	return out
+}
+
+func sameLocks(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va.mode != vb.mode {
+			return false
+		}
+	}
+	return true
+}
+
+// lcFunc is one function declaration in the program.
+type lcFunc struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *PackageInfo
+	// entry is the inferred lock set held on entry: the intersection of the
+	// lock sets at every call site (empty for roots of the call graph).
+	entry lockSet
+}
+
+type lcState struct {
+	prog   *Program
+	guards map[types.Object]*guard
+	funcs  map[*types.Func]*lcFunc
+	// order keeps deterministic iteration for the fixpoint and final walk.
+	order []*lcFunc
+	// callers[f] is the set of functions containing a call to f.
+	callers map[*types.Func]map[*types.Func]bool
+	// candidates accumulates per-callee entry-set intersections during one
+	// inference round.
+	candidates map[*types.Func]lockSet
+	hasSite    map[*types.Func]bool
+	// confinedCache memoizes the confined-function set per shard guard.
+	confinedCache map[*guard]map[*types.Func]bool
+}
+
+func runLockcheck(prog *Program) error {
+	lc := &lcState{
+		prog:          prog,
+		guards:        make(map[types.Object]*guard),
+		funcs:         make(map[*types.Func]*lcFunc),
+		callers:       make(map[*types.Func]map[*types.Func]bool),
+		confinedCache: make(map[*guard]map[*types.Func]bool),
+	}
+	lc.collectGuards()
+	lc.indexFuncs()
+	// Call-site lock inference to fixpoint: entry sets only grow, so this
+	// terminates; the round cap is a backstop for pathological recursion.
+	for round := 0; round < 5; round++ {
+		if !lc.inferRound() {
+			break
+		}
+	}
+	lc.emit()
+	return nil
+}
+
+// --- directive collection and coverage --------------------------------------
+
+// collectGuards parses guard directives off struct fields and package vars,
+// and reports coverage gaps: a struct carrying sync state must declare a
+// regime on every plain field.
+func (lc *lcState) collectGuards() {
+	for _, pkg := range lc.prog.Packages {
+		allows := lc.prog.AllowsFor(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				switch gd.Tok {
+				case token.TYPE:
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							lc.collectStruct(pkg, allows, ts, st)
+						}
+					}
+				case token.VAR:
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						g := guardFromComments(gd.Doc, vs.Doc, vs.Comment)
+						if g == nil {
+							continue
+						}
+						g.pkg = pkg
+						for _, name := range vs.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								lc.guards[obj] = g
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lc *lcState) collectStruct(pkg *PackageInfo, allows *Allows, ts *ast.TypeSpec, st *ast.StructType) {
+	trigger := false
+	for _, field := range st.Fields.List {
+		if t := fieldType(pkg, field); t != nil && isSyncCarrier(t) {
+			trigger = true
+			break
+		}
+	}
+	for _, field := range st.Fields.List {
+		g := guardFromComments(field.Doc, field.Comment)
+		if g != nil {
+			g.owner, g.pkg = ts.Name.Name, pkg
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					lc.guards[obj] = g
+				}
+			}
+			continue
+		}
+		if !trigger || len(field.Names) == 0 {
+			continue // embedded fields cannot be named by a directive
+		}
+		if t := fieldType(pkg, field); t != nil && isSelfSync(t, nil) {
+			continue // mutexes, atomics, channels synchronize themselves
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if allows.Allowed(name.Pos(), "lockcheck") {
+				continue
+			}
+			lc.prog.Reportf(Lockcheck, name.Pos(),
+				"field %s.%s shares a struct with sync state but declares no protection regime (//rootlint:guardedby/atomic/shardconfined/immutable-after-start, or a reasoned allow)",
+				ts.Name.Name, name.Name)
+		}
+	}
+}
+
+// guardFromComments extracts the first guard directive in the given comment
+// groups. Malformed directives are skipped here — the directive analyzer
+// reports their grammar errors.
+func guardFromComments(groups ...*ast.CommentGroup) *guard {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			body, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, rest, _ := strings.Cut(body, " ")
+			if !guardVerbs[verb] || checkGuardGrammar(verb, rest) != "" {
+				continue
+			}
+			rest = strings.TrimSpace(rest)
+			switch verb {
+			case "guardedby":
+				return &guard{regime: regimeGuarded, mutex: rest}
+			case "atomic":
+				return &guard{regime: regimeAtomic}
+			case "immutable-after-start":
+				return &guard{regime: regimeImmutable}
+			case "shardconfined":
+				var roots []string
+				for _, r := range strings.Split(rest, ",") {
+					roots = append(roots, strings.TrimSpace(r))
+				}
+				return &guard{regime: regimeShard, roots: roots}
+			}
+		}
+	}
+	return nil
+}
+
+func fieldType(pkg *PackageInfo, field *ast.Field) types.Type {
+	if tv, ok := pkg.Info.Types[field.Type]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isSyncCarrier reports whether t is pure synchronization state that marks
+// its struct as concurrently used: a mutex, an atomic, or a wrapper (array/
+// struct) built of nothing else.
+func isSyncCarrier(t types.Type) bool {
+	return isSelfSync(t, nil) && containsSyncPrim(t, nil)
+}
+
+// isSelfSync reports whether a field of type t needs no guard directive
+// because the type synchronizes (or trivially owns) itself.
+func isSelfSync(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil {
+			switch p.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+		return isSelfSync(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil && (p.Path() == "sync" || p.Path() == "sync/atomic") {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return isSelfSync(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			if !isSelfSync(f.Type(), seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// containsSyncPrim reports whether t contains a mutex or atomic anywhere.
+func containsSyncPrim(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil {
+			switch p.Path() {
+			case "sync/atomic":
+				return true
+			case "sync":
+				n := named.Obj().Name()
+				return n == "Mutex" || n == "RWMutex"
+			}
+		}
+		return containsSyncPrim(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return containsSyncPrim(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncPrim(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- function index and lock-state inference --------------------------------
+
+func (lc *lcState) indexFuncs() {
+	for _, pkg := range lc.prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &lcFunc{obj: obj, decl: fd, pkg: pkg, entry: lockSet{}}
+				lc.funcs[obj] = fn
+				lc.order = append(lc.order, fn)
+			}
+		}
+	}
+}
+
+// inferRound walks every function once, recomputing each callee's entry lock
+// set as the intersection of its call sites. Reports whether any entry grew.
+func (lc *lcState) inferRound() bool {
+	lc.candidates = make(map[*types.Func]lockSet)
+	lc.hasSite = make(map[*types.Func]bool)
+	for _, fn := range lc.order {
+		w := &lockWalker{lc: lc, fn: fn, held: fn.entry.clone()}
+		w.walkFunc()
+	}
+	changed := false
+	for _, fn := range lc.order {
+		if !lc.hasSite[fn.obj] {
+			continue
+		}
+		next := lc.candidates[fn.obj]
+		if next == nil {
+			next = lockSet{}
+		}
+		if !sameLocks(fn.entry, next) {
+			fn.entry = next
+			changed = true
+		}
+	}
+	return changed
+}
+
+// emit is the final walk: lock state is final, diagnostics are reported.
+func (lc *lcState) emit() {
+	for _, fn := range lc.order {
+		w := &lockWalker{lc: lc, fn: fn, held: fn.entry.clone(), emit: true}
+		w.walkFunc()
+	}
+}
+
+// recordSite folds one call site's (translated) lock set into the callee's
+// entry-set candidate.
+func (lc *lcState) recordSite(caller, callee *types.Func, held lockSet) {
+	m := lc.callers[callee]
+	if m == nil {
+		m = make(map[*types.Func]bool)
+		lc.callers[callee] = m
+	}
+	m[caller] = true
+	if prev, ok := lc.candidates[callee]; ok {
+		lc.candidates[callee] = intersectLocks(prev, held)
+	} else {
+		lc.candidates[callee] = held.clone()
+	}
+	lc.hasSite[callee] = true
+}
+
+// confined returns the set of functions provably confined to g's roots: the
+// roots themselves plus every function all of whose callers are confined.
+func (lc *lcState) confined(g *guard) map[*types.Func]bool {
+	if set, ok := lc.confinedCache[g]; ok {
+		return set
+	}
+	set := make(map[*types.Func]bool)
+	for _, fn := range lc.order {
+		if fn.pkg == g.pkg && matchesRoot(fn, g.roots) {
+			set[fn.obj] = true
+		}
+	}
+	for {
+		grew := false
+		for _, fn := range lc.order {
+			if set[fn.obj] {
+				continue
+			}
+			callers := lc.callers[fn.obj]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for c := range callers {
+				if !set[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				set[fn.obj] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	lc.confinedCache[g] = set
+	return set
+}
+
+func matchesRoot(fn *lcFunc, roots []string) bool {
+	name := fn.decl.Name.Name
+	recv := recvTypeName(fn.decl)
+	for _, r := range roots {
+		if typ, meth, ok := strings.Cut(r, "."); ok {
+			if recv == typ && name == meth {
+				return true
+			}
+		} else if name == r {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isConstructorName: functions allowed to touch guarded state freely — the
+// value under construction is not yet shared.
+func isConstructorName(name string) bool {
+	for _, p := range []string{"New", "new", "make", "Clone", "clone"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return name == "init"
+}
+
+// isStartWriterName: functions additionally allowed to write
+// immutable-after-start fields.
+func isStartWriterName(name string) bool {
+	return isConstructorName(name) ||
+		strings.HasPrefix(name, "Set") || strings.HasPrefix(name, "set") ||
+		name == "Start" || name == "start"
+}
+
+// --- the per-function walker ------------------------------------------------
+
+type accessMode int
+
+const (
+	accessRead accessMode = iota
+	accessWrite
+)
+
+func (m accessMode) String() string {
+	if m == accessWrite {
+		return "write"
+	}
+	return "read"
+}
+
+type lockWalker struct {
+	lc   *lcState
+	fn   *lcFunc
+	held lockSet
+	emit bool
+}
+
+func (w *lockWalker) walkFunc() {
+	w.stmts(w.fn.decl.Body.List)
+}
+
+// stmts walks a statement list; reports whether it definitely transfers
+// control out (return, panic, break/continue/goto).
+func (w *lockWalker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.stmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if w.lockOp(x.X) {
+			return false
+		}
+		w.expr(x.X)
+		return isPanic(w.fn.pkg, x.X)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.expr(r)
+		}
+		for _, l := range x.Lhs {
+			w.lvalue(l)
+		}
+	case *ast.IncDecStmt:
+		w.lvalue(x.X)
+	case *ast.DeferStmt:
+		if w.deferredUnlock(x.Call) {
+			return false // the lock stays held to function end
+		}
+		for _, a := range x.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		} else {
+			w.callSite(x.Call, lockSet{})
+			w.expr(x.Call.Fun)
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		} else {
+			w.callSite(x.Call, lockSet{})
+			w.expr(x.Call.Fun)
+		}
+	case *ast.SendStmt:
+		w.expr(x.Chan)
+		w.expr(x.Value)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.expr(r)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.stmts(x.List)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.expr(x.Cond)
+		entry := w.held
+		thenHeld := entry.clone()
+		w.held = thenHeld
+		thenTerm := w.stmts(x.Body.List)
+		thenHeld = w.held
+		elseHeld := entry.clone()
+		elseTerm := false
+		if x.Else != nil {
+			w.held = elseHeld
+			elseTerm = w.stmt(x.Else)
+			elseHeld = w.held
+		}
+		switch {
+		case thenTerm && elseTerm:
+			w.held = entry
+			return true
+		case thenTerm:
+			w.held = elseHeld
+		case elseTerm:
+			w.held = thenHeld
+		default:
+			w.held = intersectLocks(thenHeld, elseHeld)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			w.expr(x.Cond)
+		}
+		w.branch(func() {
+			w.stmts(x.Body.List)
+			if x.Post != nil {
+				w.stmt(x.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		w.expr(x.X)
+		if x.Tok == token.ASSIGN {
+			if x.Key != nil {
+				w.lvalue(x.Key)
+			}
+			if x.Value != nil {
+				w.lvalue(x.Value)
+			}
+		}
+		w.branch(func() { w.stmts(x.Body.List) })
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			w.expr(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e)
+			}
+			w.branch(func() { w.stmts(cc.Body) })
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.stmt(x.Assign)
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.branch(func() { w.stmts(cc.Body) })
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			w.branch(func() {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			})
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// branch runs body with a scratch copy of the lock state and discards its
+// effects: conservative for loops and switch/select arms, whose acquisitions
+// may not happen on every path.
+func (w *lockWalker) branch(body func()) {
+	saved := w.held
+	w.held = saved.clone()
+	body()
+	w.held = saved
+}
+
+// lvalue walks an assignment target: the terminal field is a write, every
+// base along the way is a read.
+func (w *lockWalker) lvalue(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		w.lvalue(x.X)
+	case *ast.IndexExpr:
+		// Writing an element or map key mutates the field's contents.
+		w.lvalue(x.X)
+		w.expr(x.Index)
+	case *ast.SliceExpr:
+		w.lvalue(x.X)
+		w.expr(x.Low)
+		w.expr(x.High)
+		w.expr(x.Max)
+	case *ast.SelectorExpr:
+		w.selAccess(x, accessWrite)
+		w.expr(x.X)
+	case *ast.StarExpr:
+		w.expr(x.X)
+	case *ast.Ident:
+		w.identAccess(x, accessWrite)
+	default:
+		w.expr(e)
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.identAccess(x, accessRead)
+	case *ast.SelectorExpr:
+		w.selAccess(x, accessRead)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			w.lvalue(x.X) // taking the address lets the value escape the lock
+		} else {
+			w.expr(x.X)
+		}
+	case *ast.StarExpr:
+		w.expr(x.X)
+	case *ast.ParenExpr:
+		w.expr(x.X)
+	case *ast.CallExpr:
+		w.call(x)
+	case *ast.FuncLit:
+		w.funcLit(x)
+	case *ast.BinaryExpr:
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *ast.IndexExpr:
+		w.expr(x.X)
+		w.expr(x.Index)
+	case *ast.IndexListExpr:
+		w.expr(x.X)
+		for _, i := range x.Indices {
+			w.expr(i)
+		}
+	case *ast.SliceExpr:
+		w.expr(x.X)
+		w.expr(x.Low)
+		w.expr(x.High)
+		w.expr(x.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X)
+	case *ast.CompositeLit:
+		isStruct := false
+		if tv, ok := w.fn.pkg.Info.Types[x]; ok && tv.Type != nil {
+			_, isStruct = tv.Type.Underlying().(*types.Struct)
+		}
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if !isStruct {
+					w.expr(kv.Key)
+				}
+				w.expr(kv.Value)
+				continue
+			}
+			w.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Key)
+		w.expr(x.Value)
+	}
+}
+
+// funcLit walks a closure body with an empty lock set (it may run on any
+// goroutine, at any time), attributing accesses to the enclosing function.
+func (w *lockWalker) funcLit(lit *ast.FuncLit) {
+	saved := w.held
+	w.held = lockSet{}
+	w.stmts(lit.Body.List)
+	w.held = saved
+}
+
+// --- lock operations ---------------------------------------------------------
+
+// lockOp recognizes statement-level mu.Lock()/Unlock()/RLock()/RUnlock() and
+// updates the held set. Returns true when the statement was a lock op.
+func (w *lockWalker) lockOp(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	key, mode, acquire, ok := w.mutexCall(call)
+	if !ok {
+		return false
+	}
+	if acquire {
+		w.held[key.key] = lockInfo{mode: mode, pkgLevel: key.pkgLevel}
+	} else {
+		delete(w.held, key.key)
+	}
+	// The receiver chain is still an access path (s.inner.mu.Lock() reads
+	// s.inner).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.expr(sel.X)
+	}
+	return true
+}
+
+// deferredUnlock recognizes defer mu.Unlock()/RUnlock(), which keeps the
+// lock held for the remainder of the function.
+func (w *lockWalker) deferredUnlock(call *ast.CallExpr) bool {
+	_, _, acquire, ok := w.mutexCall(call)
+	return ok && !acquire
+}
+
+type mutexKey struct {
+	key      string
+	pkgLevel bool
+}
+
+// mutexCall decodes a call to a sync.Mutex/RWMutex locking method into the
+// held-set key of the mutex it names.
+func (w *lockWalker) mutexCall(call *ast.CallExpr) (mutexKey, lockMode, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mutexKey{}, 0, false, false
+	}
+	var mode lockMode
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock":
+		mode, acquire = lockW, true
+	case "Unlock":
+		mode, acquire = lockW, false
+	case "RLock":
+		mode, acquire = lockR, true
+	case "RUnlock":
+		mode, acquire = lockR, false
+	default:
+		return mutexKey{}, 0, false, false
+	}
+	fnObj, ok := w.fn.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return mutexKey{}, 0, false, false
+	}
+	recv := fnObj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return mutexKey{}, 0, false, false
+	}
+	named := mutexNameOf(recv.Type())
+	if named == "" {
+		return mutexKey{}, 0, false, false
+	}
+	base := sel.X
+	key := types.ExprString(base)
+	// Promoted method on an embedded mutex: s.Lock() — the implicit field is
+	// named after the type.
+	if t := w.fn.pkg.Info.Types[base].Type; t != nil && mutexNameOf(t) == "" {
+		key = key + "." + named
+	}
+	return mutexKey{key: key, pkgLevel: w.isPkgLevelBase(base)}, mode, acquire, true
+}
+
+// mutexNameOf returns "Mutex"/"RWMutex" when t (possibly behind a pointer)
+// is the sync type, else "".
+func mutexNameOf(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if p := named.Obj().Pkg(); p == nil || p.Path() != "sync" {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isPkgLevelBase reports whether the root identifier of expr names a
+// package-level object.
+func (w *lockWalker) isPkgLevelBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := w.fn.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = w.fn.pkg.Info.Defs[x]
+			}
+			return obj != nil && w.fn.pkg.Pkg != nil && obj.Parent() == w.fn.pkg.Pkg.Scope()
+		default:
+			return false
+		}
+	}
+}
+
+// --- calls -------------------------------------------------------------------
+
+func (w *lockWalker) call(call *ast.CallExpr) {
+	// Shape 1: atomic.LoadX(&s.f, ...) / atomic.AddX(&s.f, n) — the sanctioned
+	// access form for plain-typed //rootlint:atomic fields.
+	if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if ident, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pkgNameOf(w.fn.pkg.Info, ident); ok && pn.Imported().Path() == "sync/atomic" {
+				for _, a := range call.Args {
+					w.atomicArg(a)
+				}
+				return
+			}
+		}
+		// Shape 2: s.f.Load()/Store()/... on an atomic-typed field — the
+		// sanctioned access form for atomic-typed //rootlint:atomic fields.
+		if inner, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			if v, g := w.guardOf(inner); g != nil && g.regime == regimeAtomic && isAtomicType(v.Type()) {
+				w.expr(inner.X)
+				for _, a := range call.Args {
+					w.expr(a)
+				}
+				return
+			}
+		}
+	}
+	// delete(m, k), clear(m), copy(dst, src) mutate their first operand.
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.fn.pkg.Info.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete", "clear", "copy":
+				if len(call.Args) > 0 {
+					w.lvalue(call.Args[0])
+					for _, a := range call.Args[1:] {
+						w.expr(a)
+					}
+					return
+				}
+			}
+		}
+	}
+	w.callSite(call, w.held)
+	w.expr(call.Fun)
+	for _, a := range call.Args {
+		w.expr(a)
+	}
+}
+
+// atomicArg walks one argument of a sync/atomic call: &s.f and &s.f[i] on an
+// atomic-regime field are the sanctioned shapes and are not findings.
+func (w *lockWalker) atomicArg(a ast.Expr) {
+	u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		w.expr(a)
+		return
+	}
+	target := ast.Unparen(u.X)
+	if ix, ok := target.(*ast.IndexExpr); ok {
+		if sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr); ok {
+			if _, g := w.guardOf(sel); g != nil && g.regime == regimeAtomic {
+				w.expr(ix.Index)
+				w.expr(sel.X)
+				return
+			}
+		}
+	}
+	if sel, ok := target.(*ast.SelectorExpr); ok {
+		if _, g := w.guardOf(sel); g != nil && g.regime == regimeAtomic {
+			w.expr(sel.X)
+			return
+		}
+	}
+	w.expr(a)
+}
+
+// callSite resolves a call to a function declared in this program and
+// records the caller edge plus the lock set translated into the callee's
+// parameter names.
+func (w *lockWalker) callSite(call *ast.CallExpr, held lockSet) {
+	var obj *types.Func
+	var recvArg ast.Expr
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ = w.fn.pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = w.fn.pkg.Info.Uses[fun.Sel].(*types.Func)
+		if obj != nil && obj.Type().(*types.Signature).Recv() != nil {
+			recvArg = fun.X
+		}
+	}
+	if obj == nil {
+		return
+	}
+	callee, ok := w.lc.funcs[obj]
+	if !ok {
+		return
+	}
+	var pairs [][2]string
+	if recvArg != nil && callee.decl.Recv != nil && len(callee.decl.Recv.List) > 0 {
+		if names := callee.decl.Recv.List[0].Names; len(names) > 0 {
+			pairs = append(pairs, [2]string{argString(recvArg), names[0].Name})
+		}
+	}
+	if params := callee.decl.Type.Params; params != nil {
+		i := 0
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				if i < len(call.Args) {
+					pairs = append(pairs, [2]string{argString(call.Args[i]), name.Name})
+				}
+				i++
+			}
+		}
+	}
+	samePkg := callee.pkg == w.fn.pkg
+	translated := lockSet{}
+	for k, info := range held {
+		if info.pkgLevel && samePkg {
+			translated[k] = info
+			continue
+		}
+		for _, p := range pairs {
+			arg, param := p[0], p[1]
+			if arg == "" || param == "" || param == "_" {
+				continue
+			}
+			if k == arg {
+				translated[param] = info
+				break
+			}
+			if strings.HasPrefix(k, arg+".") {
+				translated[param+k[len(arg):]] = info
+				break
+			}
+		}
+	}
+	w.lc.recordSite(w.fn.obj, obj, translated)
+}
+
+// argString renders a call argument for lock-key translation, looking
+// through & (passing &c.deg while holding c.deg.mu).
+func argString(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return types.ExprString(e)
+	}
+	return ""
+}
+
+// --- access checking ---------------------------------------------------------
+
+// guardOf resolves a selector to its field object and declared guard.
+func (w *lockWalker) guardOf(sel *ast.SelectorExpr) (*types.Var, *guard) {
+	v, ok := w.fn.pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, nil
+	}
+	return v, w.lc.guards[v]
+}
+
+func (w *lockWalker) selAccess(sel *ast.SelectorExpr, mode accessMode) {
+	if v, g := w.guardOf(sel); g != nil {
+		w.checkAccess(sel.Pos(), types.ExprString(sel.X), v.Name(), g, mode)
+	}
+	w.expr(sel.X)
+}
+
+func (w *lockWalker) identAccess(ident *ast.Ident, mode accessMode) {
+	obj, ok := w.fn.pkg.Info.Uses[ident].(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	if g := w.lc.guards[obj]; g != nil {
+		w.checkAccess(ident.Pos(), "", ident.Name, g, mode)
+	}
+}
+
+func (w *lockWalker) checkAccess(pos token.Pos, base, field string, g *guard, mode accessMode) {
+	if !w.emit {
+		return
+	}
+	fnName := w.fn.decl.Name.Name
+	if isConstructorName(fnName) {
+		return // the value under construction is not shared yet
+	}
+	owner := g.owner
+	if owner == "" {
+		owner = w.fn.pkg.Path
+	}
+	switch g.regime {
+	case regimeGuarded:
+		key := g.mutex
+		if base != "" {
+			key = base + "." + g.mutex
+		}
+		info, ok := w.held[key]
+		switch {
+		case !ok:
+			w.report(pos, "%s of %s.%s requires %s held (//rootlint:guardedby %s)",
+				mode, owner, field, key, g.mutex)
+		case mode == accessWrite && info.mode == lockR:
+			w.report(pos, "write to %s.%s while %s is only read-locked (//rootlint:guardedby %s)",
+				owner, field, key, g.mutex)
+		}
+	case regimeAtomic:
+		w.report(pos, "plain %s of %s.%s mixes atomic and unsynchronized access (//rootlint:atomic)",
+			mode, owner, field)
+	case regimeShard:
+		if !w.lc.confined(g)[w.fn.obj] {
+			w.report(pos, "%s of %s.%s from %s, which is not confined to shard roots %s (//rootlint:shardconfined)",
+				mode, owner, field, fnName, strings.Join(g.roots, ","))
+		}
+	case regimeImmutable:
+		if mode == accessWrite && !isStartWriterName(fnName) {
+			w.report(pos, "write to %s.%s outside a constructor/Set*/Start (//rootlint:immutable-after-start)",
+				owner, field)
+		}
+	}
+}
+
+func (w *lockWalker) report(pos token.Pos, format string, args ...any) {
+	if w.lc.prog.AllowsFor(w.fn.pkg).Allowed(pos, "lockcheck") {
+		return
+	}
+	w.lc.prog.Reportf(Lockcheck, pos, format, args...)
+}
+
+// isPanic reports whether e is a call to the builtin panic.
+func isPanic(pkg *PackageInfo, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	p := named.Obj().Pkg()
+	return p != nil && p.Path() == "sync/atomic"
+}

@@ -20,3 +20,41 @@ var f = 6 //rootlint:allow wallclock,globalrand: fixture exercises the multi-cat
 
 //rootlint:hotpath
 func g() {}
+
+// Guard-regime grammar (lockcheck's directives): the Directive analyzer
+// validates argument shape. Malformed forms diagnose on their own line —
+// the trailing text after the verb is part of the (bad) argument, and the
+// empty-argument cases park the expectation in a leading block comment.
+
+//rootlint:guardedby bad..name // want "is not a field name"
+var h = 7
+
+/* // want "guardedby needs a mutex field name" */ //rootlint:guardedby
+var i = 8
+
+//rootlint:atomic now // want "atomic takes no argument"
+var j = 9
+
+//rootlint:immutable-after-start soon // want "immutable-after-start takes no argument"
+var k = 10
+
+//rootlint:shardconfined run;drain // want "is not a function name"
+var l = 11
+
+/* // want "shardconfined needs at least one root function" */ //rootlint:shardconfined
+var m = 12
+
+// Well-formed guard forms parse clean: a plain mutex name, a Type.method
+// root list, and the bare no-argument regimes.
+
+//rootlint:guardedby mu
+var n = 13
+
+//rootlint:shardconfined Loop.Run,drain
+var o = 14
+
+//rootlint:atomic
+var p = 15
+
+//rootlint:immutable-after-start
+var q = 16

@@ -100,3 +100,19 @@ func (c *cursor) each() func() byte {
 		return b
 	}
 }
+
+// bufSource is the interface-dispatch case: a slice fetched through an
+// interface method is an unknown implementation's allocation.
+type bufSource interface {
+	Bytes() []byte
+}
+
+//rootlint:hotpath
+func (c *cursor) boundAdvance() func() error {
+	return c.fail // want "method value c.fail allocates a bound-method closure per evaluation"
+}
+
+//rootlint:hotpath
+func gatherVia(src bufSource, tail []byte) []byte {
+	return append(src.Bytes(), tail...) // want "append onto a slice returned through an interface method allocates a fresh backing array per call"
+}

@@ -38,3 +38,39 @@ func constant() func() int {
 func concatOnce(a, b string) string {
 	return a + b // concatenation outside any loop is a single allocation
 }
+
+// byteSource mirrors the failing fixture's interface; the near-misses below
+// must stay silent.
+type byteSource interface {
+	Bytes() []byte
+}
+
+type pool struct{ buf []byte }
+
+func (p *pool) Bytes() []byte { return p.buf }
+
+func (p *pool) grow(n int) {}
+
+//rootlint:hotpath
+func directDispatch(src byteSource) int {
+	// Calling through the interface is dispatch, not a method value.
+	return len(src.Bytes())
+}
+
+//rootlint:hotpath
+func concreteAppend(p *pool, tail []byte) []byte {
+	// A concrete receiver's method result is the implementation's own
+	// (inlinable, provably reused) buffer — not flagged.
+	return append(p.Bytes(), tail...)
+}
+
+//rootlint:hotpath
+func directCall(p *pool) {
+	// x.M() used as a call is never a bound-method closure.
+	p.grow(1)
+}
+
+func coldBinding(p *pool) func(int) {
+	// Method values outside a hot function are fine.
+	return p.grow
+}

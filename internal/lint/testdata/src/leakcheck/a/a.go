@@ -1,0 +1,42 @@
+// Package a holds the failing leakcheck cases.
+package a
+
+func Spawn() int {
+	ch := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		ch <- 1 // want "goroutine blocks on send to unbuffered channel ch with no select escape"
+	}()
+	go func() {
+		<-done // want "goroutine blocks on receive from unbuffered channel done with no select escape"
+	}()
+	go func() {
+		for range ch { // want "goroutine ranges over unbuffered channel ch with no select escape"
+		}
+	}()
+	return <-ch
+}
+
+func SingleCaseSelect() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 2: // want "goroutine blocks on send to unbuffered channel ch with no select escape"
+		}
+	}()
+	<-ch
+}
+
+type pipe struct {
+	c chan int
+}
+
+func NewPipe() *pipe {
+	return &pipe{c: make(chan int)}
+}
+
+func (p *pipe) Start() {
+	go func() {
+		p.c <- 1 // want "goroutine blocks on send to unbuffered channel c with no select escape"
+	}()
+}

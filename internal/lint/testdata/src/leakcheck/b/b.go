@@ -1,0 +1,69 @@
+// Package b holds the near-miss leakcheck idioms that must stay silent.
+package b
+
+func Buffered() {
+	ch := make(chan int, 4)
+	go func() {
+		ch <- 1 // buffered: cannot block forever on a vanished receiver
+	}()
+}
+
+func Escaped(quit chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-quit:
+		}
+	}()
+	<-ch
+}
+
+func WithDefault() int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func Rebuffered() {
+	ch := make(chan int)
+	ch = make(chan int, 1)
+	go func() {
+		ch <- 1 // a buffered make exists for ch: unprovable, stay silent
+	}()
+}
+
+func OutsideGoroutine() {
+	ch := make(chan int)
+	go drainOne(ch) // named-function goroutines are out of scope
+	ch <- 1         // bare send outside a go literal
+}
+
+func drainOne(ch chan int) {
+	<-ch
+}
+
+func Unknown(ch chan int) {
+	go func() {
+		ch <- 1 // parameter channel: buffering unknown, stay silent
+	}()
+}
+
+func Allowed() {
+	ch := make(chan int)
+	go func() {
+		//rootlint:allow leakcheck: receiver is joined in the caller before any early return
+		ch <- 1
+	}()
+	<-ch
+}

@@ -1,0 +1,104 @@
+// Package a holds the failing lockcheck cases — every diagnostic form,
+// each carrying its expectation. Package b holds the near-misses that must
+// stay silent.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lockcheck/shard"
+)
+
+type config struct{ ttl int }
+
+type cache struct {
+	mu sync.RWMutex
+	//rootlint:guardedby mu
+	entries map[string]int
+	//rootlint:guardedby mu
+	bytes int64
+	//rootlint:atomic
+	hits int64
+	//rootlint:immutable-after-start
+	budget int64
+	limit  int // want "field cache.limit shares a struct with sync state but declares no protection regime"
+}
+
+func newCache() *cache {
+	// Constructors touch everything freely: the value is not shared yet.
+	return &cache{entries: make(map[string]int), budget: 1 << 20}
+}
+
+func (c *cache) unlockedRead(k string) int {
+	return c.entries[k] // want "read of cache.entries requires c.mu held"
+}
+
+func (c *cache) writeUnderRLock(k string, v int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.entries[k] = v // want "write to cache.entries while c.mu is only read-locked"
+}
+
+func (c *cache) unlockTooEarly(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.entries[k] // want "read of cache.entries requires c.mu held"
+}
+
+func (c *cache) lockedInOneBranch(k string, fast bool) int {
+	if fast {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
+	return c.entries[k] // want "read of cache.entries requires c.mu held"
+}
+
+func (c *cache) asyncUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.bytes++ // want "write of cache.bytes requires c.mu held"
+	}()
+}
+
+func (c *cache) mixedAtomic() int64 {
+	c.hits++ // want "plain write of cache.hits mixes atomic and unsynchronized access"
+	atomic.AddInt64(&c.hits, 1)
+	return c.hits // want "plain read of cache.hits mixes atomic and unsynchronized access"
+}
+
+func (c *cache) tune(n int64) {
+	c.budget = n // want "write to cache.budget outside a constructor"
+}
+
+type pub struct {
+	//rootlint:atomic
+	cur atomic.Pointer[config]
+	//rootlint:guardedby mu
+	gen int
+	mu  sync.Mutex
+}
+
+func (p *pub) leakPointer() *atomic.Pointer[config] {
+	return &p.cur // want "plain write of pub.cur mixes atomic and unsynchronized access"
+}
+
+func (p *pub) bumpGen() {
+	p.gen++ // want "write of pub.gen requires p.mu held"
+}
+
+var tblMu sync.Mutex
+
+//rootlint:guardedby tblMu
+var tbl = map[string]int{}
+
+func globalUnlocked(k string) int {
+	return tbl[k] // want "read of lockcheck/a.tbl requires tblMu held"
+}
+
+// Poke is not a shard root and has no confined caller: the whole-program
+// walk must flag a cross-package touch of shard-confined state.
+func Poke(l *shard.Loop) {
+	l.Hits++ // want "write of Loop.Hits from Poke, which is not confined to shard roots"
+}

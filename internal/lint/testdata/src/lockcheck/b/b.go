@@ -1,0 +1,112 @@
+// Package b holds the passing lockcheck idioms: everything here must stay
+// silent.
+package b
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type settings struct{ ttl int }
+
+type counter struct {
+	mu sync.Mutex
+	//rootlint:guardedby mu
+	n int
+	// done is a channel: self-synchronizing, exempt from coverage.
+	done chan struct{}
+	// seq is atomic-typed: self-synchronizing, exempt from coverage.
+	seq atomic.Int64
+}
+
+func New() *counter {
+	c := &counter{done: make(chan struct{}, 1)}
+	c.n = 1 // constructor: the value is not shared yet
+	return c
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // entry-set inference: every caller of bump holds c.mu
+}
+
+func (c *counter) Get(fast bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fast {
+		return c.n
+	}
+	return c.n + 1
+}
+
+// bump is only ever called with c.mu held; the call-site intersection
+// proves it.
+func (c *counter) bump() {
+	c.n++
+}
+
+type rcache struct {
+	mu sync.RWMutex
+	//rootlint:guardedby mu
+	m map[string]int
+	//rootlint:immutable-after-start
+	budget int
+}
+
+func (r *rcache) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rcache) Put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+func (r *rcache) SetBudget(n int) {
+	r.budget = n // Set* swap point: allowed by immutable-after-start
+}
+
+func (r *rcache) Within(n int) bool {
+	return r.budget >= n // reads are free
+}
+
+type pub struct {
+	//rootlint:atomic
+	cur atomic.Pointer[settings]
+	//rootlint:atomic
+	ops int64
+	pad [4]atomic.Int64
+}
+
+func (p *pub) Swap(s *settings) *settings {
+	p.cur.Store(s)
+	atomic.AddInt64(&p.ops, 1)
+	return p.cur.Load()
+}
+
+var regMu sync.Mutex
+
+//rootlint:guardedby regMu
+var registry = map[string]int{}
+
+func Register(k string, v int) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k] = v
+}
+
+// allowed demonstrates a reasoned suppression on an unprovable access.
+func (c *counter) allowed() int {
+	//rootlint:allow lockcheck: read-only snapshot for logs; staleness is fine
+	return c.n
+}

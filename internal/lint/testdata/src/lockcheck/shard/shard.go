@@ -1,0 +1,38 @@
+// Package shard owns single-goroutine state: the fixture's whole-program
+// confinement cases, with a sibling package (a) providing the out-of-shard
+// caller.
+package shard
+
+// Loop is one shard's worker; Hits is owned by the loop goroutine.
+type Loop struct {
+	//rootlint:shardconfined Loop.Run,drain
+	Hits int
+}
+
+// Run is the shard's owning loop.
+func (l *Loop) Run(n int) {
+	for i := 0; i < n; i++ {
+		l.step()
+	}
+}
+
+// step has Run as its only caller, so it is confined by the caller walk.
+func (l *Loop) step() {
+	l.Hits++
+}
+
+// drain is the ordered-drain callback root named by the directive.
+func drain(l *Loop) {
+	l.Hits++
+}
+
+// Reset is exported API: not a root, no callers, not confined.
+func (l *Loop) Reset() {
+	l.flush()
+}
+
+// flush's only caller is Reset, which is not confined, so flush is not
+// either.
+func (l *Loop) flush() {
+	l.Hits = 0 // want "write of Loop.Hits from flush, which is not confined to shard roots Loop.Run,drain"
+}

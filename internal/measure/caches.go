@@ -12,7 +12,8 @@ import (
 // transfer path, and two workers hitting the same serial at once must not
 // both pay for it (or race on the map).
 type zoneCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	entries map[zoneKey]*zoneEntry
 }
 
@@ -47,7 +48,8 @@ func (zc *zoneCache) get(key zoneKey, build func() (*zone.Zone, error)) (*zone.Z
 // full ldns-style validation is expensive, and the result is a pure function
 // of the key.
 type valCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	entries map[valKey]*valEntry
 }
 
@@ -91,9 +93,12 @@ const batteryCacheBudget int64 = 32 << 20
 // ones still evict promptly. (The seed's version cleared the whole map
 // instead, throwing away the current serial's neighbors too.)
 type batteryCache struct {
-	mu      sync.Mutex
-	budget  int64 // max resident bytes
-	used    int64
+	mu sync.Mutex
+	//rootlint:immutable-after-start
+	budget int64 // max resident bytes
+	//rootlint:guardedby mu
+	used int64
+	//rootlint:guardedby mu
 	entries map[zoneKey]batteryEntry
 }
 

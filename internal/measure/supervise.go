@@ -33,12 +33,17 @@ const (
 const maxDegradedSamples = 8
 
 type degradedState struct {
-	mu                          sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	probePanics, transferPanics int
+	//rootlint:guardedby mu
 	probeErrors, transferErrors int
-	writeErrors                 int
-	samples                     []string
-	abort                       error
+	//rootlint:guardedby mu
+	writeErrors int
+	//rootlint:guardedby mu
+	samples []string
+	//rootlint:guardedby mu
+	abort error
 }
 
 // DegradedStats reports the campaign's supervisor-salvaged outcomes.

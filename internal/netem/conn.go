@@ -16,9 +16,11 @@ var ErrCut = errors.New("netem: connection cut")
 // transfer shape axfr.Receive classifies as ErrTruncatedTransfer.
 type cutConn struct {
 	net.Conn
-	mu     sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	budget int
-	cut    bool
+	//rootlint:guardedby mu
+	cut bool
 }
 
 func (c *cutConn) Write(b []byte) (int, error) {

@@ -186,10 +186,13 @@ type flowState struct {
 // Link applies a Profile to packets. A nil *Link admits everything
 // unchanged, so callers keep a single unconditional code path.
 type Link struct {
+	//rootlint:immutable-after-start
 	prof Profile
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//rootlint:guardedby mu
 	flows map[uint64]*flowState
+	//rootlint:guardedby mu
 	conns uint64 // wrapped-connection counter, for per-conn cut decisions
 }
 
@@ -286,7 +289,9 @@ func (l *Link) Admit(dir Dir, flow uint64, pkt []byte) (first, second []byte) {
 	// packet's per-flow index, so fates are independent and replayable.
 	h := splitmix64(st.base[dir] + idx*0x9e3779b97f4a7c15)
 	hLoss, hDup, hReord, hCorr := h, splitmix64(h+1), splitmix64(h+2), splitmix64(h+3)
-	p := &l.prof
+	// Copy the profile by value: taking &l.prof would leak an interior
+	// pointer to immutable-after-start state past the critical section.
+	p := l.prof
 	if p.Loss > 0 && frac(hLoss) < p.Loss {
 		l.mu.Unlock()
 		mDrops.Inc()

@@ -53,7 +53,7 @@ func (n *NetExchanger) Exchange(addr netip.Addr, q *dnswire.Message) (*dnswire.M
 	}
 	c := dnsclient.New(target)
 	if n.Timeout > 0 {
-		c.Timeout = n.Timeout
+		c.SetTimeout(n.Timeout)
 	}
 	return c.Exchange(q)
 }

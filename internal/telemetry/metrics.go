@@ -27,6 +27,7 @@ type paddedInt64 struct {
 // worker loops use ShardInc/ShardAdd with their worker id so concurrent
 // increments never contend on one cache line.
 type Counter struct {
+	//rootlint:immutable-after-start
 	def    *Def
 	shards [NumShards]paddedInt64
 }
@@ -69,6 +70,7 @@ func (c *Counter) setTotal(v int64) {
 
 // Gauge is a single settable value.
 type Gauge struct {
+	//rootlint:immutable-after-start
 	def *Def
 	v   atomic.Int64
 }
@@ -93,6 +95,7 @@ const histBuckets = 48
 // Histograms back the wall-clock namespace: Observe is only called behind
 // the Enabled gate, so a run without telemetry flags never pays for it.
 type Histogram struct {
+	//rootlint:immutable-after-start
 	def     *Def
 	count   atomic.Int64
 	sum     atomic.Int64

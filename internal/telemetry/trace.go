@@ -34,9 +34,12 @@ type span struct {
 
 // spanRing is the bounded span store.
 type spanRing struct {
-	mu      sync.Mutex
-	spans   []span
-	next    int
+	mu sync.Mutex
+	//rootlint:guardedby mu
+	spans []span
+	//rootlint:guardedby mu
+	next int
+	//rootlint:guardedby mu
 	wrapped bool
 }
 

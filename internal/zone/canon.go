@@ -27,15 +27,22 @@ type canonState struct {
 
 	// wire[i] is Records[i] in canonical form at its own TTL; rd[i] is the
 	// offset of the RDATA octets within wire[i]. Both are immutable once
-	// published (mutation replaces the slot wholesale under mu).
+	// published (mutation replaces the slot wholesale under mu). Lock-free
+	// reads behind the wiresDone flag carry per-site allows: the atomic
+	// flag's store-release/load-acquire pair publishes the slices.
+	//rootlint:guardedby mu
 	wire [][]byte
-	rd   []int
+	//rootlint:guardedby mu
+	rd []int
 
 	// order is the canonical permutation of record indices (stable sort by
 	// canonical owner, class, type, then RDATA octets); groups partitions
 	// order into RRset runs. Both are rebuilt from scratch on invalidation,
-	// never edited in place, so clones may share them.
-	order  []int
+	// never edited in place, so clones may share them. Same lock-free read
+	// discipline as wire, behind orderDone.
+	//rootlint:guardedby mu
+	order []int
+	//rootlint:guardedby mu
 	groups [][]int
 
 	// sigOK[i] == 1 records that the RRSIG at Records[i] cryptographically
@@ -43,6 +50,7 @@ type canonState struct {
 	// cached: bogus signatures must re-verify so callers get exact error
 	// detail, and they only occur on (rare) fault-injected zones. Accessed
 	// atomically.
+	//rootlint:atomic
 	sigOK []uint32
 }
 
@@ -79,6 +87,7 @@ func (cs *canonState) ensureWires(z *Zone) {
 		wire[i], rd[i] = dnswire.CanonicalRR(rr, rr.TTL)
 	}
 	cs.wire, cs.rd = wire, rd
+	//rootlint:allow lockcheck: whole-slice install under mu before wiresDone publishes it; no concurrent element access can exist yet
 	cs.sigOK = make([]uint32, n)
 	cs.wiresDone.Store(true)
 }
@@ -118,6 +127,7 @@ func (cs *canonState) ensureOrder(z *Zone) {
 		if ra.Type() != rb.Type() {
 			return ra.Type() < rb.Type()
 		}
+		//rootlint:allow lockcheck: the sort closure runs synchronously inside ensureOrder's mu critical section
 		return bytes.Compare(cs.wire[ia][cs.rd[ia]:], cs.wire[ib][cs.rd[ib]:]) < 0
 	})
 	var groups [][]int
@@ -145,6 +155,7 @@ func (cs *canonState) ensureOrder(z *Zone) {
 func (z *Zone) CanonicalWire(i int) []byte {
 	cs := z.state()
 	cs.ensureWires(z)
+	//rootlint:allow lockcheck: lock-free read after ensureWires observed wiresDone; the atomic flag publishes the immutable slice
 	return cs.wire[i]
 }
 
@@ -153,6 +164,7 @@ func (z *Zone) CanonicalWire(i int) []byte {
 func (z *Zone) CanonicalOrder() []int {
 	cs := z.state()
 	cs.ensureOrder(z)
+	//rootlint:allow lockcheck: lock-free read after ensureOrder observed orderDone; the atomic flag publishes the immutable permutation
 	return cs.order
 }
 
@@ -162,6 +174,7 @@ func (z *Zone) CanonicalOrder() []int {
 func (z *Zone) RRsetIndices() [][]int {
 	cs := z.state()
 	cs.ensureOrder(z)
+	//rootlint:allow lockcheck: lock-free read after ensureOrder observed orderDone; the atomic flag publishes the immutable grouping
 	return cs.groups
 }
 
@@ -194,6 +207,7 @@ func (z *Zone) SetSigVerdict(i int, ok bool) {
 func (z *Zone) MutateRecord(i int, fn func(*dnswire.RR)) {
 	cs := z.canon.Load()
 	if cs == nil || !cs.wiresDone.Load() {
+		//rootlint:allow lockcheck: documented mutation API; bitflip injection runs on an unshared clone
 		fn(&z.Records[i])
 		z.canon.Store(nil)
 		return
@@ -201,6 +215,7 @@ func (z *Zone) MutateRecord(i int, fn func(*dnswire.RR)) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	pre := z.Records[i]
+	//rootlint:allow lockcheck: documented mutation API; bitflip injection runs on an unshared clone
 	fn(&z.Records[i])
 	post := z.Records[i]
 	cs.wire[i], cs.rd[i] = dnswire.CanonicalRR(post, post.TTL)
@@ -211,6 +226,7 @@ func (z *Zone) MutateRecord(i int, fn func(*dnswire.RR)) {
 	postName, postType := post.Name.Canonical(), post.Type()
 	if preType == dnswire.TypeDNSKEY || postType == dnswire.TypeDNSKEY {
 		// The key set feeds every verification; drop all verdicts.
+		//rootlint:allow lockcheck: range reads only the slice header, which is stable once wiresDone is set; elements are cleared atomically
 		for j := range cs.sigOK {
 			atomic.StoreUint32(&cs.sigOK[j], 0)
 		}

@@ -21,7 +21,12 @@ import (
 // verdicts. Mutate Records only through Add, MutateRecord, or the copy
 // constructors, so the sidecar stays coherent.
 type Zone struct {
-	Apex    dnswire.Name
+	//rootlint:immutable-after-start
+	Apex dnswire.Name
+	// Records is frozen before a zone is shared: the campaign builds or
+	// clones a zone single-goroutine, then publishes it. The mutation API
+	// (Add, Canonicalize, MutateRecord) carries per-site allows below.
+	//rootlint:immutable-after-start
 	Records []dnswire.RR
 
 	canon atomic.Pointer[canonState]
@@ -34,6 +39,7 @@ func New(apex dnswire.Name) *Zone {
 
 // Add appends records to the zone and invalidates the canonical sidecar.
 func (z *Zone) Add(rrs ...dnswire.RR) {
+	//rootlint:allow lockcheck: documented mutation API; zones are built single-goroutine and frozen before they are shared
 	z.Records = append(z.Records, rrs...)
 	z.canon.Store(nil)
 }
@@ -133,7 +139,9 @@ func (z *Zone) Canonicalize() *Zone {
 		rd[newI] = cs.rd[oldI]
 		sig[newI] = atomic.LoadUint32(&cs.sigOK[oldI])
 	}
+	//rootlint:allow lockcheck: documented mutation API; Canonicalize runs before the zone is shared
 	z.Records = recs
+	//rootlint:allow lockcheck: sigOK is replaced wholesale under mu while no concurrent reader exists (pre-publication, same contract as Records)
 	cs.wire, cs.rd, cs.sigOK = wire, rd, sig
 	// Records are now in canonical order: the permutation becomes the
 	// identity and groups become contiguous runs. Build fresh slices — the

@@ -11,9 +11,21 @@ go vet ./...
 # rootlint runs before the fuzz smoke: a determinism or hot-path violation
 # is cheaper to surface than a fuzz crash, and the suite doubles as a type
 # check of the whole tree. The suite includes metricname, which cross-checks
-# every telemetry constructor call site against the static registry.
+# every telemetry constructor call site against the static registry, and the
+# whole-program lockcheck/leakcheck passes. -time prints per-analyzer wall
+# time, and the wall-time budget fails the build if the whole suite (load,
+# type check, all analyzers) exceeds LINT_BUDGET_SECS — whole-program passes
+# must not rot the edit loop.
 echo "== rootlint =="
-go run ./cmd/rootlint ./...
+LINT_BUDGET_SECS="${LINT_BUDGET_SECS:-30}"
+lint_t0=$(date +%s)
+go run ./cmd/rootlint -time ./...
+lint_elapsed=$(( $(date +%s) - lint_t0 ))
+echo "rootlint: total ${lint_elapsed}s (budget ${LINT_BUDGET_SECS}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_SECS" ]; then
+    echo "rootlint: exceeded the ${LINT_BUDGET_SECS}s lint budget" >&2
+    exit 1
+fi
 
 # Telemetry under the race detector: many writers hammer every metric kind
 # and the span ring while readers snapshot and checkpoint concurrently, so a
