@@ -8,6 +8,10 @@
 //	            [-checkpoint replay.ckpt [-resume]]
 //	            [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
 //	rootanalyze -diff a.json b.json
+//	rootanalyze -qlog show [-filter kind=...,class=...,rcode=...] flight.qlog
+//	rootanalyze -qlog compose flight.qlog
+//	rootanalyze -qlog diff a.qlog b.qlog
+//	rootanalyze -qlog join server.qlog client.qlog
 //
 // With -workers > 1 the sealed blocks of the dataset are decoded by a
 // bounded worker pool while an ordered drain keeps every analysis output
@@ -20,6 +24,11 @@
 // namespace and prints a one-line verdict: "behavior unchanged" when every
 // stream- and process-class metric matches, "behavior changed" otherwise.
 // Exit status 0 means unchanged, 1 changed, 2 usage or I/O error.
+//
+// -qlog switches to flight-log mode (see runQlog): decode and filter a
+// per-query flight recording, print composition tables, diff two logs in
+// canonical order, or join a server-side log against a client-side one and
+// check the loss accounting balances.
 package main
 
 import (
@@ -44,11 +53,16 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint sidecar path (enables crash-safe replay)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	diff := flag.Bool("diff", false, "compare two -metrics snapshots: rootanalyze -diff a.json b.json")
+	qlogMode := flag.Bool("qlog", false, "flight-log mode: rootanalyze -qlog <show|compose|diff|join> file...")
+	qlogFilterFlag := flag.String("filter", "", "event filter for -qlog show/compose (kind=...,class=...,rcode=...)")
 	telemetry.RegisterFlags()
 	flag.Parse()
 
 	if *diff {
 		os.Exit(runDiff(flag.Args()))
+	}
+	if *qlogMode {
+		os.Exit(runQlog(flag.Args(), *qlogFilterFlag))
 	}
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "rootanalyze: unexpected arguments %q\n", flag.Args())

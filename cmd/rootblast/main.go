@@ -13,7 +13,13 @@
 //	          [-junk 0.45] [-aaaa 0.18] [-do 0.72] [-skew 1.0]
 //	          [-retry 0] [-backoff 0s] [-backoff-cap 0s]
 //	          [-netem loss=0.1,seed=7]
+//	          [-qlog flight.qlog] [-qlog-sample every=64,seed=7]
 //	          [-report out.json] [-metrics out.json]
+//
+// -qlog records one blast/query flight-recorder event per sampled query at
+// its terminal outcome (decode with `rootanalyze -qlog`); a panic dumps the
+// black-box ring to <path>.blackbox. Give the server the same -qlog-sample
+// spec so `rootanalyze -qlog join` can pair both sides' records.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/dnsclient"
 	"repro/internal/netem"
 	"repro/internal/prof"
+	"repro/internal/qlog"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +55,8 @@ func main() {
 	backoff := flag.Duration("backoff", 0, "base delay folded into each retry's deadline; 0 = immediate, like dig")
 	backoffCap := flag.Duration("backoff-cap", 0, "cap on the exponential backoff; 0 = 8x base")
 	netemSpec := flag.String("netem", "", "client-side adverse-network profile, e.g. loss=0.1,seed=7 (see internal/netem)")
+	qlogPath := flag.String("qlog", "", "record a per-query flight log to this file (empty = off)")
+	qlogSample := flag.String("qlog-sample", "", "flight-log sampler, e.g. every=64,seed=7 (empty = every query)")
 	report := flag.String("report", "", "write the run report as JSON to `file`")
 	telemetry.RegisterFlags()
 	flag.Parse()
@@ -81,6 +90,24 @@ func main() {
 		fatal(err)
 	}
 
+	var rec *qlog.Recorder
+	if *qlogPath != "" {
+		sampler, err := qlog.ParseSampler(*qlogSample)
+		if err != nil {
+			fatal(err)
+		}
+		qf, err := os.Create(*qlogPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer qf.Close()
+		if rec, err = qlog.New(qf, sampler, *qlogPath+".blackbox"); err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+		defer qlog.DumpOnPanic(*qlogPath + ".blackbox")
+	}
+
 	cfg := blast.Config{
 		Addr:     *server,
 		Workers:  *workers,
@@ -91,6 +118,7 @@ func main() {
 		Retries:  *retries,
 		Backoff:  dnsclient.Backoff{Base: *backoff, Cap: *backoffCap, Seed: *seed},
 		Netem:    netemProf,
+		QLog:     rec,
 		Corpus:   corpus,
 	}
 	if *count > 0 {
@@ -98,6 +126,9 @@ func main() {
 	}
 	res, err := blast.Run(cfg)
 	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Println(res)

@@ -8,12 +8,19 @@
 //
 //	rootmeasure -out study.rgds [-seed 1] [-workers N] [-scale 96] [-vpscale 1] [-start YYYY-MM-DD] [-end YYYY-MM-DD]
 //	            [-checkpoint study.ckpt] [-checkpoint-every N] [-resume] [-errbudget N] [-chaos spec]
+//	            [-qlog flight.qlog] [-qlog-sample every=64,seed=7]
 //	            [-cpuprofile prof.out] [-memprofile mem.out]
 //	            [-metrics out.json] [-trace out.json] [-telemetry-addr host:port]
 //
 // With -checkpoint, the recording is crash-safe: progress is checkpointed
 // every -checkpoint-every ticks, and a killed run restarted with -resume
 // continues from the checkpoint and produces a byte-identical dataset.
+//
+// -qlog additionally records one flight-recorder event per campaign probe
+// and transfer (decode with `rootanalyze -qlog`). The flight log rides the
+// same checkpoint protocol as the dataset, so a killed-and-resumed recording
+// reproduces it byte-identically; a panic, chaos kill, or error-budget abort
+// dumps the in-memory black-box ring to <path>.blackbox.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/measure"
 	"repro/internal/prof"
+	"repro/internal/qlog"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
@@ -46,6 +54,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted recording from -checkpoint")
 	errBudget := flag.Int("errbudget", 0, "degraded outcomes (recovered panics, probe errors, retried write errors) tolerated before aborting; negative = unlimited")
 	chaos := flag.String("chaos", "", "failpoint spec site=action[@N][,...] with action panic|error|kill, e.g. campaign/tick=kill@5")
+	qlogPath := flag.String("qlog", "", "record a per-event flight log to this file (empty = off)")
+	qlogSample := flag.String("qlog-sample", "", "flight-log sampler, e.g. every=64,seed=7 (empty = every event)")
 	telemetry.RegisterFlags()
 	flag.Parse()
 
@@ -103,11 +113,11 @@ func main() {
 	}
 	var f *os.File
 	var writer *dataset.Writer
+	var cp *measure.Checkpoint
 	if *resume {
 		// Continue the interrupted recording: reopen the dataset and rewind
 		// it to the sealed offset the checkpoint recorded.
-		cp, err := measure.LoadCheckpoint(*checkpoint)
-		if err != nil {
+		if cp, err = measure.LoadCheckpoint(*checkpoint); err != nil {
 			fatal(err)
 		}
 		state, err := cp.HandlerState(0)
@@ -132,17 +142,66 @@ func main() {
 	}
 	defer f.Close()
 
+	// The flight recorder, when enabled, is handler #1 behind the dataset
+	// writer: its resume blob rides the same checkpoint sidecar.
+	handlers := []measure.Handler{writer}
+	var qrec *qlog.Recorder
+	blackbox := ""
+	if *qlogPath != "" {
+		sampler, err := qlog.ParseSampler(*qlogSample)
+		if err != nil {
+			fatal(err)
+		}
+		blackbox = *qlogPath + ".blackbox"
+		var qf *os.File
+		if *resume {
+			state, err := cp.HandlerState(1)
+			if err != nil {
+				fatal(err)
+			}
+			if qf, err = os.OpenFile(*qlogPath, os.O_RDWR, 0); err != nil {
+				fatal(err)
+			}
+			if qrec, err = qlog.Resume(qf, sampler, blackbox, state); err != nil {
+				fatal(err)
+			}
+		} else {
+			if qf, err = os.Create(*qlogPath); err != nil {
+				fatal(err)
+			}
+			if qrec, err = qlog.New(qf, sampler, blackbox); err != nil {
+				fatal(err)
+			}
+		}
+		defer qf.Close()
+		defer qlog.DumpOnPanic(blackbox)
+		handlers = append(handlers, measure.NewFlightLog(qrec))
+	}
+
 	began := time.Now()
-	if err := measure.NewCampaign(mCfg, world).Run(writer); err != nil {
+	if err := measure.NewCampaign(mCfg, world).Run(handlers...); err != nil {
 		if errors.Is(err, failpoint.ErrKilled) {
 			// Simulated SIGKILL: exit without sealing or closing, leaving
-			// the on-disk state exactly as a real kill would.
+			// the on-disk state exactly as a real kill would — except the
+			// black-box ring, which is the crash artifact itself: every
+			// chaos kill leaves an inspectable flight-history dump.
+			if blackbox != "" {
+				_ = qlog.DumpBlackbox(blackbox)
+			}
 			fmt.Fprintf(os.Stderr, "rootmeasure: %v (restart with -resume)\n", err)
 			os.Exit(3)
+		}
+		// Fatal campaign errors (error-budget aborts above all) leave the
+		// same trace.
+		if blackbox != "" {
+			_ = qlog.DumpBlackbox(blackbox)
 		}
 		fatal(err)
 	}
 	if err := writer.Close(); err != nil {
+		fatal(err)
+	}
+	if err := qrec.Close(); err != nil {
 		fatal(err)
 	}
 	info, _ := f.Stat()
@@ -154,6 +213,9 @@ func main() {
 			float64(info.Size())/float64(writer.Probes+writer.Transfers))
 	}
 	fmt.Println()
+	if qrec != nil {
+		fmt.Printf("flight log: %d events in %s\n", qrec.Events(), *qlogPath)
+	}
 }
 
 func fatal(err error) {

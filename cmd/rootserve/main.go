@@ -8,8 +8,14 @@
 //	rootserve [-addr 127.0.0.1:5353] [-tlds 120] [-hostname id] [-no-axfr]
 //	          [-serve-workers N] [-no-cache] [-cache-bytes N]
 //	          [-netem loss=0.1,seed=7] [-rrl rate=0.5,slip=2]
+//	          [-qlog flight.qlog] [-qlog-sample every=64,seed=7]
 //	          [-tcp-timeout 2m] [-max-tcp-conns 64]
 //	          [-metrics out.json] [-telemetry-addr host:port]
+//
+// -qlog records one flight-recorder event per sampled query (decode with
+// `rootanalyze -qlog`); a panic dumps the in-memory black-box ring to
+// <path>.blackbox. Give the client the same -qlog-sample spec so
+// `rootanalyze -qlog join` can pair both sides' records.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/dnssec"
 	"repro/internal/dnsserver"
 	"repro/internal/netem"
+	"repro/internal/qlog"
 	"repro/internal/telemetry"
 	"repro/internal/zone"
 	"repro/internal/zonemd"
@@ -39,6 +46,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes; 0 = 8 MiB default")
 	netemSpec := flag.String("netem", "", "adverse-network profile, e.g. loss=0.1,corrupt=0.05,seed=7 (see internal/netem)")
 	rrlSpec := flag.String("rrl", "", "response-rate-limiting, e.g. rate=0.5,burst=8,slip=2,seed=7 (empty = off)")
+	qlogPath := flag.String("qlog", "", "record a per-query flight log to this file (empty = off)")
+	qlogSample := flag.String("qlog-sample", "", "flight-log sampler, e.g. every=64,seed=7 (empty = every query)")
 	tcpTimeout := flag.Duration("tcp-timeout", 0, "per-connection TCP idle deadline; 0 = 2m default, negative = no deadline")
 	maxTCP := flag.Int("max-tcp-conns", 0, "concurrent TCP connection cap; 0 = 64 default, negative = unlimited")
 	telemetry.RegisterFlags()
@@ -58,6 +67,24 @@ func main() {
 		fatal(err)
 	}
 	defer stopTel()
+
+	var rec *qlog.Recorder
+	if *qlogPath != "" {
+		sampler, err := qlog.ParseSampler(*qlogSample)
+		if err != nil {
+			fatal(err)
+		}
+		qf, err := os.Create(*qlogPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer qf.Close()
+		if rec, err = qlog.New(qf, sampler, *qlogPath+".blackbox"); err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+		defer qlog.DumpOnPanic(*qlogPath + ".blackbox")
+	}
 
 	var signer *dnssec.Signer
 	if *useRSA {
@@ -91,6 +118,7 @@ func main() {
 		CacheBytes:   *cacheBytes,
 		Netem:        netemProf,
 		RRL:          rrlCfg,
+		QLog:         rec,
 		TCPTimeout:   *tcpTimeout,
 		MaxTCPConns:  *maxTCP,
 	})
@@ -109,6 +137,9 @@ func main() {
 	}
 	if rrlCfg.Rate > 0 {
 		fmt.Printf("rrl: %s\n", *rrlSpec)
+	}
+	if rec != nil {
+		fmt.Printf("qlog: recording to %s\n", *qlogPath)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
 	"repro/internal/netem"
+	"repro/internal/qlog"
 	"repro/internal/zone"
 )
 
@@ -69,9 +70,11 @@ func DefaultMix() Mix {
 // Corpus is a pregenerated set of packed query wires (message ID zero; the
 // runner patches a fresh ID into each send). Pregeneration keeps the send
 // loop allocation-free and makes the offered workload a pure function of
-// the generator inputs.
+// the generator inputs. qEnds caches each wire's question-section end so the
+// flight recorder can build join subjects without re-walking names.
 type Corpus struct {
 	wires [][]byte
+	qEnds []int32
 }
 
 // Len returns the number of distinct queries in the corpus.
@@ -139,6 +142,7 @@ func BuildCorpus(mix Mix, tlds, size int, seed uint64) (*Corpus, error) {
 
 	r := &rng{state: seed ^ 0xb1a57}
 	wires := make([][]byte, 0, size)
+	qEnds := make([]int32, 0, size)
 	for i := 0; i < size; i++ {
 		var qname dnswire.Name
 		var qtype dnswire.Type
@@ -185,8 +189,9 @@ func BuildCorpus(mix Mix, tlds, size int, seed uint64) (*Corpus, error) {
 			return nil, fmt.Errorf("blast: packing corpus query %d: %w", i, err)
 		}
 		wires = append(wires, wire)
+		qEnds = append(qEnds, int32(qlog.QuestionEnd(wire)))
 	}
-	return &Corpus{wires: wires}, nil
+	return &Corpus{wires: wires, qEnds: qEnds}, nil
 }
 
 // Config configures one load run.
@@ -220,6 +225,11 @@ type Config struct {
 	// worker's socket (flow = worker index): queries pass the link on
 	// egress, responses on ingress. The zero profile is off.
 	Netem netem.Profile
+	// QLog attaches a per-query flight recorder: every sampled query emits
+	// one blast/query event at its terminal outcome (matched or declared
+	// lost). Give it the same sampler seed and rate as the server's so
+	// `rootanalyze -qlog join` can pair both sides' records. Nil is off.
+	QLog *qlog.Recorder
 	// Corpus is the offered workload; required.
 	Corpus *Corpus
 }
@@ -305,6 +315,7 @@ func Run(cfg Config) (*Result, error) {
 		w.retries = cfg.Retries
 		w.delays = delays
 		w.link = link
+		w.qlog = cfg.QLog
 		// The flow key is the worker index: stable run to run, unlike the
 		// socket's ephemeral port.
 		w.flow = netem.FlowID(uint64(i))
@@ -362,10 +373,12 @@ type worker struct {
 	delays    []int64 // per-attempt deadline extension, ns (delays[0] = 0)
 	link      *netem.Link
 	flow      uint64
+	qlog      *qlog.Recorder // nil when flight recording is off
 
 	conn    *net.UDPConn
 	sendBuf []byte
 	recvBuf []byte
+	subjBuf []byte // flight-recorder join-subject scratch
 	// pending[id] is the send time (UnixNano) of the outstanding query with
 	// that message ID, 0 when none; attempts[id] counts its re-sends and
 	// wireIdx[id] remembers its corpus entry so an expiry re-sends the same
@@ -393,6 +406,44 @@ type worker struct {
 
 	//rootlint:shardconfined Run,worker.run
 	sent, received, lost, retried, timeouts, mismatches int64
+}
+
+// evBlastQuery is the client-side flight-recorder event: one record per
+// sampled query at its terminal outcome. Claimed once; the qlogfield
+// analyzer cross-checks the field list against the qlog registry.
+var evBlastQuery = qlog.NewEvent("blast/query",
+	"attempts", "outcome", "rcode", "tc", "wait_us")
+
+// blast/query outcome enum values, in registry order.
+const (
+	qOutcomeOK   = 0
+	qOutcomeLost = 1
+)
+
+// emitQuery records the terminal blast/query event for the outstanding query
+// with this message ID. The join subject is the query prefix as sent — the
+// corpus wire with the ID patched in — so the key matches the server's record
+// of the same query. rcode and tc are zero for lost queries (no response).
+//
+//rootlint:hotpath
+func (w *worker) emitQuery(id uint16, outcome, rcode, tc uint64) {
+	wi := w.wireIdx[id]
+	qe := w.corpus.qEnds[wi]
+	if qe < 0 {
+		return
+	}
+	w.subjBuf = append(w.subjBuf[:0], w.corpus.wires[wi][:qe]...)
+	w.subjBuf[0], w.subjBuf[1] = byte(id>>8), byte(id)
+	key := qlog.Key(w.subjBuf)
+	if !w.qlog.Sampled(key) {
+		return
+	}
+	var waitUs uint64
+	for k := 1; k <= int(w.attempts[id]); k++ {
+		waitUs += uint64(w.delays[k] / 1000)
+	}
+	w.qlog.Emit(evBlastQuery, key, w.subjBuf,
+		uint64(w.attempts[id])+1, outcome, rcode, tc, waitUs)
 }
 
 // expireNs is the wait before the entry's current attempt is declared
@@ -451,6 +502,9 @@ func (w *worker) reap(nowNs int64) error {
 				// The refreshed entry is young again; later ring entries
 				// wait behind it exactly like behind any pending tail.
 				return nil
+			}
+			if w.qlog != nil {
+				w.emitQuery(id, qOutcomeLost, 0, 0)
 			}
 			w.pending[id] = 0
 			w.outstanding--
@@ -515,6 +569,16 @@ func (w *worker) handleResp(buf []byte, rxNs int64) {
 		w.mismatches++
 		return
 	}
+	if w.qlog != nil {
+		var rcode, tc uint64
+		if len(buf) > 3 {
+			rcode = uint64(buf[3] & 0x0F)
+		}
+		if len(buf) > 2 && buf[2]&0x02 != 0 {
+			tc = 1
+		}
+		w.emitQuery(id, qOutcomeOK, rcode, tc)
+	}
 	w.pending[id] = 0
 	w.outstanding--
 	w.received++
@@ -543,6 +607,7 @@ func (w *worker) run(raddr *net.UDPAddr) error {
 	w.conn = conn
 	w.sendBuf = make([]byte, 0, 512)
 	w.recvBuf = make([]byte, 64*1024)
+	w.subjBuf = make([]byte, 0, 512)
 	w.pending = make([]int64, 1<<16)
 	w.attempts = make([]uint8, 1<<16)
 	w.wireIdx = make([]int32, 1<<16)

@@ -2,33 +2,26 @@
 // the counterpart of the paper's published measurement data (Appendix A),
 // which uses dictionary-based compression over the raw dig/mtr output.
 //
-// Format (version 2, segmented): the file opens with a raw "RGDS" magic and
-// a varint version, followed by a sequence of sealed blocks. Each block is
-// framed as
-//
-//	[u32be compressed length][u32be CRC-32C of payload][u32be record count]
-//
-// followed by a DEFLATE-compressed payload of records. Records intern
-// repeated strings (site IDs, facilities, router names) in a dictionary that
-// resets at every block boundary, so each block is self-contained: a crash
-// can at worst tear the trailing block, which Reader detects (short frame,
-// CRC mismatch, or bad DEFLATE stream) and cleanly truncates instead of
-// erroring mid-stream. A Writer doubles as a measure.Handler so a campaign
-// can be recorded while analyses run; a Reader replays the events into the
-// same handlers later. Writers can also resume appending after the last
-// sealed block of an interrupted recording (see ResumeWriter), which is how
+// The container is the sealed-segment format (internal/segment): a raw
+// "RGDS" magic and varint version, then length+CRC framed DEFLATE blocks
+// with per-block string interning. Each block is self-contained, so a crash
+// can at worst tear the trailing block, which Reader detects and cleanly
+// truncates instead of erroring mid-stream. This package owns the record
+// encodings (probe/transfer events), the failpoint sites, and the metrics;
+// the framing mechanics live in segment and are shared with the qlog flight
+// recorder. A Writer doubles as a measure.Handler so a campaign can be
+// recorded while analyses run; a Reader replays the events into the same
+// handlers later. Writers can also resume appending after the last sealed
+// block of an interrupted recording (see ResumeWriter), which is how
 // rootmeasure survives kill/restart cycles byte-identically.
 package dataset
 
 import (
 	"bufio"
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"time"
 
@@ -38,6 +31,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/rss"
+	"repro/internal/segment"
 	"repro/internal/vantage"
 	"repro/internal/zonemd"
 )
@@ -68,51 +62,40 @@ const (
 )
 
 // DefaultBlockBytes is the uncompressed block size at which a Writer seals
-// automatically. Checkpoint boundaries also seal, so the value only bounds
-// memory (and crash loss) between checkpoints.
-const DefaultBlockBytes = 512 * 1024
+// automatically (segment's default; re-exported for callers and docs).
+const DefaultBlockBytes = segment.DefaultBlockBytes
 
 // frameHeaderLen is the fixed per-block frame: length, CRC, record count.
-const frameHeaderLen = 12
-
-// maxCompressedBlock bounds a frame length a Reader will believe; anything
-// larger is treated as a torn/corrupt tail rather than allocated.
-const maxCompressedBlock = 64 << 20
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+const frameHeaderLen = segment.FrameHeaderLen
 
 // Writer records campaign events into sealed blocks.
 type Writer struct {
-	out  io.Writer
-	buf  bytes.Buffer // current (unsealed) block's records
-	dict map[string]uint64
-	next uint64
-	err  error
-
-	// BlockBytes is the auto-seal threshold (uncompressed); 0 means
-	// DefaultBlockBytes. It must match between runs for byte-identical
-	// kill/resume recordings.
-	BlockBytes int
-
-	blockRecords uint32
-	sealed       int64 // bytes durably framed, header included
+	*segment.Writer
 
 	// Probes and Transfers count written events.
 	Probes, Transfers int
 }
 
+// hook wires the dataset-owned failpoint site and seal metrics into a
+// segment writer. The mid-frame crash site tears the frame on the output
+// and parks the error so no later write can extend the torn tail, while
+// the recorded sealed offset still ends at the previous block.
+func hook(w *segment.Writer) {
+	w.CrashHook = func() error { return failpoint.Eval("dataset/seal/partial") }
+	w.OnSeal = func(frameBytes int) {
+		mBlocksSealed.Inc()
+		mBytesSealed.Add(int64(frameBytes))
+	}
+}
+
 // NewWriter starts a dataset on out, writing the file header immediately.
 func NewWriter(out io.Writer) (*Writer, error) {
-	d := &Writer{out: out}
-	d.resetDict()
-	var hdr [len(magic) + binary.MaxVarintLen64]byte
-	n := copy(hdr[:], magic)
-	n += binary.PutUvarint(hdr[n:], version)
-	if _, err := out.Write(hdr[:n]); err != nil {
+	seg, err := segment.NewWriter(out, magic, version)
+	if err != nil {
 		return nil, err
 	}
-	d.sealed = int64(n)
-	return d, nil
+	hook(seg)
+	return &Writer{Writer: seg}, nil
 }
 
 // writerState is the opaque blob stored in campaign checkpoints.
@@ -120,13 +103,6 @@ type writerState struct {
 	Offset    int64 `json:"offset"`
 	Probes    int   `json:"probes"`
 	Transfers int   `json:"transfers"`
-}
-
-// truncater is what ResumeWriter needs from its output to discard a torn
-// tail; *os.File satisfies it.
-type truncater interface {
-	Truncate(size int64) error
-	Seek(offset int64, whence int) (int64, error)
 }
 
 // ResumeWriter continues an interrupted recording: it truncates out to the
@@ -139,102 +115,13 @@ func ResumeWriter(out io.Writer, state []byte) (*Writer, error) {
 	if err := json.Unmarshal(state, &st); err != nil {
 		return nil, fmt.Errorf("dataset: bad resume state: %w", err)
 	}
-	if st.Offset < int64(len(magic))+1 {
-		return nil, fmt.Errorf("dataset: resume offset %d precedes header", st.Offset)
-	}
-	tr, ok := out.(truncater)
-	if !ok {
-		return nil, errors.New("dataset: resume target does not support truncation")
-	}
-	if err := tr.Truncate(st.Offset); err != nil {
-		return nil, fmt.Errorf("dataset: truncating torn tail: %w", err)
-	}
-	if _, err := tr.Seek(0, io.SeekEnd); err != nil {
+	seg, err := segment.Resume(out, magic, st.Offset)
+	if err != nil {
 		return nil, err
 	}
-	d := &Writer{out: out, sealed: st.Offset, Probes: st.Probes, Transfers: st.Transfers}
-	d.resetDict()
-	return d, nil
+	hook(seg)
+	return &Writer{Writer: seg, Probes: st.Probes, Transfers: st.Transfers}, nil
 }
-
-func (d *Writer) resetDict() {
-	d.dict = make(map[string]uint64)
-	d.next = 1
-}
-
-func (d *Writer) uvarint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	d.buf.Write(buf[:n])
-}
-
-// intern writes a string reference: known strings cost one varint; new ones
-// are written once with their bytes. Scope is the current block.
-func (d *Writer) intern(s string) {
-	if id, ok := d.dict[s]; ok {
-		d.uvarint(id << 1)
-		return
-	}
-	d.dict[s] = d.next
-	d.next++
-	d.uvarint(uint64(len(s))<<1 | 1)
-	d.buf.WriteString(s)
-}
-
-// Seal compresses and frames the current block, making every event handled
-// so far durable on the underlying writer. Sealing an empty block is a
-// no-op. After a seal the dictionary resets, so blocks stand alone.
-func (d *Writer) Seal() error {
-	if d.err != nil {
-		return d.err
-	}
-	if d.blockRecords == 0 {
-		return nil
-	}
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
-	if err != nil {
-		d.err = err
-		return err
-	}
-	if _, err := fw.Write(d.buf.Bytes()); err != nil {
-		d.err = err
-		return err
-	}
-	if err := fw.Close(); err != nil {
-		d.err = err
-		return err
-	}
-	frame := make([]byte, frameHeaderLen+comp.Len())
-	binary.BigEndian.PutUint32(frame[0:], uint32(comp.Len()))
-	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(comp.Bytes(), crcTable))
-	binary.BigEndian.PutUint32(frame[8:], d.blockRecords)
-	copy(frame[frameHeaderLen:], comp.Bytes())
-	// Chaos site: simulate a crash that tears the frame mid-write. The
-	// partial bytes land on the underlying writer; d.err stays ErrKilled so
-	// no later write can extend the torn tail, and the recorded sealed
-	// offset still ends at the previous block.
-	if ferr := failpoint.Eval("dataset/seal/partial"); ferr != nil {
-		d.out.Write(frame[:frameHeaderLen+comp.Len()/2])
-		d.err = ferr
-		return ferr
-	}
-	if _, err := d.out.Write(frame); err != nil {
-		d.err = err
-		return err
-	}
-	d.sealed += int64(len(frame))
-	mBlocksSealed.Inc()
-	mBytesSealed.Add(int64(len(frame)))
-	d.buf.Reset()
-	d.blockRecords = 0
-	d.resetDict()
-	return nil
-}
-
-// SealedBytes reports how many bytes of the output are covered by sealed
-// blocks (the crash-recoverable prefix).
-func (d *Writer) SealedBytes() int64 { return d.sealed }
 
 // CheckpointSeal implements the campaign's checkpoint protocol
 // (measure.Checkpointable): it seals the pending block, syncs the underlying
@@ -249,24 +136,22 @@ func (d *Writer) CheckpointSeal() ([]byte, error) {
 	if err := d.Seal(); err != nil {
 		return nil, err
 	}
-	if s, ok := d.out.(interface{ Sync() error }); ok {
-		if err := s.Sync(); err != nil {
-			return nil, err
-		}
+	if err := d.Sync(); err != nil {
+		return nil, err
 	}
-	return json.Marshal(writerState{Offset: d.sealed, Probes: d.Probes, Transfers: d.Transfers})
+	return json.Marshal(writerState{Offset: d.SealedBytes(), Probes: d.Probes, Transfers: d.Transfers})
 }
 
 // HandleProbe implements measure.Handler.
 func (d *Writer) HandleProbe(e measure.ProbeEvent) {
-	if d.err != nil {
+	if d.Err() != nil {
 		return
 	}
-	d.uvarint(recProbe)
-	d.uvarint(uint64(e.Tick.Index))
-	d.uvarint(uint64(e.Tick.Time.Unix()))
-	d.uvarint(uint64(e.VPIdx))
-	d.intern(targetKey(e.Target))
+	d.Uvarint(recProbe)
+	d.Uvarint(uint64(e.Tick.Index))
+	d.Uvarint(uint64(e.Tick.Time.Unix()))
+	d.Uvarint(uint64(e.VPIdx))
+	d.Intern(targetKey(e.Target))
 	flags := uint64(0)
 	if e.Lost {
 		flags |= 1
@@ -280,37 +165,36 @@ func (d *Writer) HandleProbe(e measure.ProbeEvent) {
 	if e.Degraded {
 		flags |= 8
 	}
-	d.uvarint(flags)
+	d.Uvarint(flags)
 	d.Probes++
-	d.blockRecords++
 	mRecords.Inc()
 	if e.Lost {
-		d.maybeAutoSeal()
+		d.EndRecord()
 		return
 	}
-	d.intern(e.SiteID)
-	d.intern(e.Identifier)
-	d.intern(e.Facility)
-	d.intern(e.SiteCity.IATA)
-	d.uvarint(uint64(e.RTTms * 100)) // centi-milliseconds
-	d.uvarint(uint64(len(e.ASPath)))
+	d.Intern(e.SiteID)
+	d.Intern(e.Identifier)
+	d.Intern(e.Facility)
+	d.Intern(e.SiteCity.IATA)
+	d.Uvarint(uint64(e.RTTms * 100)) // centi-milliseconds
+	d.Uvarint(uint64(len(e.ASPath)))
 	for _, asn := range e.ASPath {
-		d.uvarint(uint64(asn))
+		d.Uvarint(uint64(asn))
 	}
-	d.intern(e.SecondToLast)
-	d.maybeAutoSeal()
+	d.Intern(e.SecondToLast)
+	d.EndRecord()
 }
 
 // HandleTransfer implements measure.Handler.
 func (d *Writer) HandleTransfer(e measure.TransferEvent) {
-	if d.err != nil {
+	if d.Err() != nil {
 		return
 	}
-	d.uvarint(recTransfer)
-	d.uvarint(uint64(e.Tick.Index))
-	d.uvarint(uint64(e.Tick.Time.Unix()))
-	d.uvarint(uint64(e.VPIdx))
-	d.intern(targetKey(e.Target))
+	d.Uvarint(recTransfer)
+	d.Uvarint(uint64(e.Tick.Index))
+	d.Uvarint(uint64(e.Tick.Time.Unix()))
+	d.Uvarint(uint64(e.VPIdx))
+	d.Intern(targetKey(e.Target))
 	flags := uint64(0)
 	if e.Lost {
 		flags |= 1
@@ -324,44 +208,22 @@ func (d *Writer) HandleTransfer(e measure.TransferEvent) {
 	if e.Degraded {
 		flags |= 8
 	}
-	d.uvarint(flags)
+	d.Uvarint(flags)
 	d.Transfers++
-	d.blockRecords++
 	mRecords.Inc()
 	if e.Lost {
-		d.maybeAutoSeal()
+		d.EndRecord()
 		return
 	}
-	d.uvarint(uint64(e.Serial))
-	d.uvarint(uint64(e.Fault))
-	d.uvarint(uint64(classifyErr(e.DNSSECErr)))
-	d.uvarint(uint64(classifyErr(e.ZonemdErr)))
+	d.Uvarint(uint64(e.Serial))
+	d.Uvarint(uint64(e.Fault))
+	d.Uvarint(uint64(classifyErr(e.DNSSECErr)))
+	d.Uvarint(uint64(classifyErr(e.ZonemdErr)))
 	if e.Bitflip != nil {
-		d.intern(e.Bitflip.Before)
-		d.intern(e.Bitflip.After)
+		d.Intern(e.Bitflip.Before)
+		d.Intern(e.Bitflip.After)
 	}
-	d.maybeAutoSeal()
-}
-
-// maybeAutoSeal seals when the pending block exceeds the size threshold.
-// Auto-seal points are a pure function of the record stream, so interrupted
-// and uninterrupted runs frame their blocks identically.
-func (d *Writer) maybeAutoSeal() {
-	limit := d.BlockBytes
-	if limit <= 0 {
-		limit = DefaultBlockBytes
-	}
-	if d.buf.Len() >= limit {
-		d.Seal() // a failed seal parks the error in d.err
-	}
-}
-
-// Close seals any pending block and flushes the dataset.
-func (d *Writer) Close() error {
-	if err := d.Seal(); err != nil {
-		return err
-	}
-	return d.err
+	d.EndRecord()
 }
 
 func classifyErr(err error) int {
@@ -419,29 +281,20 @@ var targetsByKey = func() map[string]rss.ServiceAddr {
 }()
 
 // Reader replays a dataset into handlers, tolerating a torn trailing block.
-// Decoding is block-at-a-time: the v2 framing makes every sealed block
+// Decoding is block-at-a-time: the segment framing makes every sealed block
 // independently decompressible, which is what lets ReplayWith fan blocks
 // out to a worker pool while an ordered drain keeps delivery byte-identical
 // to a serial read.
 type Reader struct {
-	raw *bufio.Reader
+	*segment.Reader
 	pop *vantage.Population
 	// cities resolves metro codes back to geo.City.
 	cities map[string]geo.City
-
-	// Tear state belongs to the goroutine that owns the Reader: the serial
-	// read path and the parallel drain (runParallel joins its scanner and
-	// workers before returning, so ownership is whole again by the time
-	// Torn/TornReason can run). The three named methods are the only touch
-	// points; new code must go through them.
-	//rootlint:shardconfined Reader.tear,Reader.Torn,Reader.TornReason
-	torn bool
-	//rootlint:shardconfined Reader.tear,Reader.Torn,Reader.TornReason
-	tornErr error
 }
 
 // NewReader opens a dataset. The population must be the one the recording
-// campaign used (the same world seed reproduces it).
+// campaign used (the same world seed reproduces it). The header parse stays
+// here (not in segment) for the legacy-format diagnostic.
 func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
 	raw := bufio.NewReader(in)
 	head := make([]byte, len(magic))
@@ -459,73 +312,7 @@ func NewReader(in io.Reader, pop *vantage.Population) (*Reader, error) {
 	for _, c := range geo.Cities() {
 		cities[c.IATA] = c
 	}
-	return &Reader{raw: raw, pop: pop, cities: cities}, nil
-}
-
-// Torn reports whether the dataset ended in a torn (incomplete or corrupt)
-// trailing block, which Replay silently truncated at the last sealed
-// boundary — the expected state after a crash mid-recording.
-func (d *Reader) Torn() bool { return d.torn }
-
-// TornReason describes the detected tail corruption, nil when !Torn().
-func (d *Reader) TornReason() error { return d.tornErr }
-
-// frame is one sealed block as scanned off the wire, CRC unverified: the
-// CPU-bound work (checksum, DEFLATE, record decode) happens in decodeBlock
-// so it can run on a worker.
-type frame struct {
-	hdr   [frameHeaderLen]byte
-	comp  []byte
-	count uint32
-}
-
-// scanFrame reads the next sealed block's frame without decompressing it
-// and without mutating any Reader state beyond the stream position: io.EOF
-// means a clean end at a block boundary; any other error is tear-class and
-// the caller decides when to apply it (the parallel drain applies it at the
-// torn frame's delivery position so truncation semantics match serial). The
-// frame's compressed payload is freshly allocated — frames outlive the
-// sequential scan in parallel mode.
-func (d *Reader) scanFrame() (frame, error) {
-	var f frame
-	if _, err := io.ReadFull(d.raw, f.hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return f, io.EOF // clean end: file stops at a block boundary
-		}
-		return f, fmt.Errorf("dataset: torn frame header: %w", err)
-	}
-	n := binary.BigEndian.Uint32(f.hdr[0:])
-	f.count = binary.BigEndian.Uint32(f.hdr[8:])
-	if n == 0 || n > maxCompressedBlock {
-		return f, fmt.Errorf("dataset: implausible block length %d", n)
-	}
-	f.comp = make([]byte, n)
-	if _, err := io.ReadFull(d.raw, f.comp); err != nil {
-		if err == io.EOF {
-			// Zero payload bytes after a complete header is a torn tail, not
-			// a block boundary; don't let the bare io.EOF read as clean end.
-			err = io.ErrUnexpectedEOF
-		}
-		return f, fmt.Errorf("dataset: torn block payload: %w", err)
-	}
-	return f, nil
-}
-
-// nextFrame is scanFrame for serial consumers: a tear-class scan error is
-// applied to the Reader immediately and converted to a clean io.EOF.
-func (d *Reader) nextFrame() (frame, error) {
-	f, err := d.scanFrame()
-	if err != nil && !errors.Is(err, io.EOF) {
-		return f, d.tear(err)
-	}
-	return f, err
-}
-
-// tear records the torn tail and converts it into a clean end-of-stream.
-func (d *Reader) tear(reason error) error {
-	d.torn = true
-	d.tornErr = reason
-	return io.EOF
+	return &Reader{Reader: segment.NewReaderAt(raw), pop: pop, cities: cities}, nil
 }
 
 // replayEvent is one decoded record, tagged with its kind.
@@ -550,28 +337,21 @@ type blockResult struct {
 // decodeBlock verifies and decodes one sealed block. It is a pure function
 // of the frame plus the shared read-only population/city tables, so any
 // worker can run it for any block.
-func (d *Reader) decodeBlock(f frame) blockResult {
-	sum := binary.BigEndian.Uint32(f.hdr[4:])
-	if crc32.Checksum(f.comp, crcTable) != sum {
-		return blockResult{tearErr: errors.New("dataset: block CRC mismatch")}
-	}
-	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(f.comp)))
+func (d *Reader) decodeBlock(f segment.Frame) blockResult {
+	payload, err := segment.Decompress(f)
 	if err != nil {
-		return blockResult{tearErr: fmt.Errorf("dataset: corrupt block stream: %w", err)}
+		return blockResult{tearErr: err}
 	}
 	dec := blockDecoder{
-		blk: bytes.NewReader(payload), dict: []string{""},
+		rr:  segment.NewRecordReader(payload),
 		pop: d.pop, cities: d.cities,
 	}
-	return dec.decodeAll(f.count)
+	return dec.decodeAll(f.Count)
 }
 
-// blockDecoder decodes the records of a single decompressed block. The
-// dictionary is block-scoped (reset at every seal), which is precisely what
-// makes blocks independently decodable.
+// blockDecoder decodes the records of a single decompressed block.
 type blockDecoder struct {
-	blk    *bytes.Reader
-	dict   []string
+	rr     *segment.RecordReader
 	pop    *vantage.Population
 	cities map[string]geo.City
 }
@@ -581,7 +361,7 @@ type blockDecoder struct {
 func (d *blockDecoder) decodeAll(count uint32) blockResult {
 	res := blockResult{events: make([]replayEvent, 0, count)}
 	left := count
-	for d.blk.Len() > 0 {
+	for d.rr.Len() > 0 {
 		kind, err := d.uvarint()
 		if err != nil {
 			res.decodeErr = fmt.Errorf("dataset: record kind: %w", err)
@@ -618,28 +398,9 @@ func (d *blockDecoder) decodeAll(count uint32) blockResult {
 	return res
 }
 
-func (d *blockDecoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.blk) }
+func (d *blockDecoder) uvarint() (uint64, error) { return d.rr.Uvarint() }
 
-func (d *blockDecoder) str() (string, error) {
-	v, err := d.uvarint()
-	if err != nil {
-		return "", err
-	}
-	if v&1 == 0 {
-		id := v >> 1
-		if id >= uint64(len(d.dict)) {
-			return "", errors.New("dataset: bad dictionary reference")
-		}
-		return d.dict[id], nil
-	}
-	buf := make([]byte, v>>1)
-	if _, err := io.ReadFull(d.blk, buf); err != nil {
-		return "", err
-	}
-	s := string(buf)
-	d.dict = append(d.dict, s)
-	return s, nil
-}
+func (d *blockDecoder) str() (string, error) { return d.rr.Str() }
 
 // Replay streams every event into the handlers, returning the counts. A
 // torn trailing block (crash mid-write) is truncated, not an error; check

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/measure"
+	"repro/internal/segment"
 	"repro/internal/telemetry"
 )
 
@@ -117,9 +118,9 @@ type replayState struct {
 // counters, fingerprint, checkpoint cadence. A torn block converts to a
 // clean end-of-stream (io.EOF) after marking the Reader torn — nothing from
 // the torn block, or after it, is ever delivered.
-func (st *replayState) drainBlock(f frame, res blockResult) error {
+func (st *replayState) drainBlock(f segment.Frame, res blockResult) error {
 	if res.tearErr != nil {
-		return st.d.tear(res.tearErr)
+		return st.d.Tear(res.tearErr)
 	}
 	for i := range res.events {
 		ev := &res.events[i]
@@ -144,7 +145,7 @@ func (st *replayState) drainBlock(f frame, res blockResult) error {
 		return res.decodeErr
 	}
 	st.blocks++
-	st.sig.Write(f.hdr[:])
+	st.sig.Write(f.Hdr[:])
 	mReplayBlocks.Inc()
 	if st.opts.CheckpointPath != "" && st.blocks%st.opts.CheckpointEvery == 0 {
 		if err := st.checkpoint(); err != nil {
@@ -156,7 +157,7 @@ func (st *replayState) drainBlock(f frame, res blockResult) error {
 
 func (st *replayState) runSerial() error {
 	for {
-		f, err := st.d.nextFrame()
+		f, err := st.d.NextFrame()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
@@ -176,7 +177,7 @@ func (st *replayState) runSerial() error {
 // back to the drain. scanErr marks the scanner's terminal tear, delivered
 // in order like any block so truncation lands at the right position.
 type replayJob struct {
-	f       frame
+	f       segment.Frame
 	res     chan blockResult
 	scanErr error
 }
@@ -210,7 +211,7 @@ func (st *replayState) runParallel() error {
 		defer close(work)
 		defer close(pending)
 		for {
-			f, err := st.d.scanFrame()
+			f, err := st.d.ScanFrame()
 			if err != nil {
 				if !errors.Is(err, io.EOF) {
 					select {
@@ -244,7 +245,7 @@ func (st *replayState) runParallel() error {
 	}
 	for j := range pending {
 		if j.scanErr != nil {
-			st.d.tear(j.scanErr)
+			st.d.Tear(j.scanErr)
 			return nil
 		}
 		if err := st.drainBlock(j.f, <-j.res); err != nil {
@@ -345,11 +346,11 @@ func (st *replayState) resume() error {
 		return fmt.Errorf("dataset: replay checkpoint has %d handler states, replay has %d handlers", len(cp.Handlers), len(st.handlers))
 	}
 	for i := 0; i < cp.Blocks; i++ {
-		f, err := st.d.nextFrame()
+		f, err := st.d.NextFrame()
 		if err != nil {
 			return fmt.Errorf("dataset: resume: dataset ends before checkpointed block %d/%d", i+1, cp.Blocks)
 		}
-		st.sig.Write(f.hdr[:])
+		st.sig.Write(f.Hdr[:])
 	}
 	if hex.EncodeToString(st.sig.Sum(nil)) != cp.Sig {
 		return errors.New("dataset: resume: dataset does not match checkpoint fingerprint")

@@ -1,10 +1,12 @@
 package dnsserver
 
 import (
+	"io"
 	"net"
 	"testing"
 
 	"repro/internal/dnswire"
+	"repro/internal/qlog"
 )
 
 // benchServe drives one query wire through a running server over a connected
@@ -72,4 +74,30 @@ func BenchmarkServeUDP(b *testing.B) {
 	b.Run("uncached-A-referral", func(b *testing.B) {
 		benchServe(b, uncached, dnswire.NewQuery(7, dnswire.MustName("www.com."), dnswire.TypeA))
 	})
+
+	// Flight recorder compiled in and attached, but sampling nothing: the
+	// hit path pays the key hash and one sampler branch and must still
+	// report 0 allocs/op — the recorder-off contract from the qlog PR.
+	qlogOff := base
+	qlogOff.QLog = benchRecorder(b, qlog.Sampler{Every: 0})
+	b.Run("cached-A-referral-qlog-off", func(b *testing.B) {
+		benchServe(b, qlogOff, dnswire.NewQuery(7, dnswire.MustName("www.com."), dnswire.TypeA))
+	})
+	// Every query sampled: the worst-case recording overhead (encode, block
+	// append, black-box copy) for sizing the -qlog-sample budget.
+	qlogAll := base
+	qlogAll.QLog = benchRecorder(b, qlog.Sampler{Every: 1})
+	b.Run("cached-A-referral-qlog-all", func(b *testing.B) {
+		benchServe(b, qlogAll, dnswire.NewQuery(7, dnswire.MustName("www.com."), dnswire.TypeA))
+	})
+}
+
+// benchRecorder builds a recorder that discards its segment stream.
+func benchRecorder(b *testing.B, s qlog.Sampler) *qlog.Recorder {
+	b.Helper()
+	rec, err := qlog.New(io.Discard, s, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec
 }

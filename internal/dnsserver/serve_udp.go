@@ -7,6 +7,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/failpoint"
 	"repro/internal/netem"
+	"repro/internal/qlog"
 )
 
 // udpHeaderLen is the fixed DNS header size.
@@ -154,6 +155,7 @@ type slowItem struct {
 	pkt   []byte
 	raddr netip.AddrPort
 	flow  uint64
+	ev    qev
 }
 
 // slowQueue is the bounded per-shard hand-off between the read loop and the
@@ -186,6 +188,16 @@ func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
 	defer s.wg.Done()
 	readBuf := make([]byte, 64*1024)
 	bufs := newShardBufs()
+	qlogOn := s.cfg.QLog != nil
+	var flowCounts map[uint64]uint64
+	if qlogOn {
+		// Per-flow offered index, shard-confined: SO_REUSEPORT pins a flow
+		// to one socket, so this loop sees every datagram of its flows in
+		// the client's send order and the index is worker-count-invariant.
+		// A netem duplicate shares its original's index (one offered
+		// datagram, one index).
+		flowCounts = make(map[uint64]uint64)
+	}
 	for {
 		n, raddr, err := conn.ReadFromUDPAddrPort(readBuf)
 		if err != nil {
@@ -197,17 +209,25 @@ func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
 			}
 		}
 		var flow uint64
-		if s.link != nil {
+		if s.link != nil || qlogOn {
 			// Flow identity is the client IP alone: ephemeral ports differ
 			// run to run and would break fate determinism.
 			flow = netem.FlowAddr(raddr)
 		}
 		pkt, extra := s.link.Admit(netem.Ingress, flow, readBuf[:n])
+		var fidx uint64
+		if qlogOn {
+			fidx = flowCounts[flow]
+			flowCounts[flow]++
+			if pkt == nil && extra == nil {
+				s.qlogIngressDrop(readBuf[:n], flow, fidx)
+			}
+		}
 		if pkt != nil {
-			s.servePacket(conn, shard, bufs, pkt, raddr, flow)
+			s.servePacket(conn, shard, bufs, pkt, raddr, flow, fidx)
 		}
 		if extra != nil {
-			s.servePacket(conn, shard, bufs, extra, raddr, flow)
+			s.servePacket(conn, shard, bufs, extra, raddr, flow, fidx)
 		}
 	}
 }
@@ -216,8 +236,14 @@ func (s *Server) serveUDPLoop(conn *net.UDPConn, shard int) {
 // zero-alloc path, everything else is enqueued for the shard's slow worker.
 //
 //rootlint:hotpath
-func (s *Server) servePacket(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow uint64) {
+func (s *Server) servePacket(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow, fidx uint64) {
 	sh := parseQueryShape(pkt)
+	var ev qev
+	if s.cfg.QLog != nil && sh.ok {
+		ev.key = qlog.Key(pkt[:sh.qEnd])
+		ev.flow, ev.fidx = flow, fidx
+		ev.sampled = s.cfg.QLog.Sampled(ev.key)
+	}
 	st := s.state.Load()
 	if sh.ok && st.cache != nil {
 		// Key = raw question bytes (case preserved, so a hit is
@@ -229,12 +255,13 @@ func (s *Server) servePacket(conn *net.UDPConn, shard int, bufs *shardBufs, pkt 
 			mCacheHits.ShardInc(shard)
 			bufs.resp = append(bufs.resp[:0], wire...)
 			bufs.resp[0], bufs.resp[1] = pkt[0], pkt[1] // patch in the query ID
-			s.respond(conn, shard, bufs, pkt, sh, raddr, flow)
+			ev.hit = true
+			s.respond(conn, shard, bufs, pkt, sh, raddr, flow, ev)
 			return
 		}
 		mCacheMisses.ShardInc(shard)
 	}
-	s.enqueueSlow(shard, pkt, raddr, flow)
+	s.enqueueSlow(shard, pkt, raddr, flow, sh, ev)
 }
 
 // enqueueSlow hands a miss to the shard's slow worker, or sheds it when the
@@ -242,9 +269,12 @@ func (s *Server) servePacket(conn *net.UDPConn, shard int, bufs *shardBufs, pkt 
 // tests.
 //
 //rootlint:hotpath
-func (s *Server) enqueueSlow(shard int, pkt []byte, raddr netip.AddrPort, flow uint64) {
+func (s *Server) enqueueSlow(shard int, pkt []byte, raddr netip.AddrPort, flow uint64, sh queryShape, ev qev) {
 	if err := failpoint.Eval("serve/shed"); err != nil {
 		mSheds.ShardInc(shard)
+		if ev.sampled {
+			s.emitServe(ev, pkt, sh, qFateOK, qVerdictNone, 1, 0, 0, 0)
+		}
 		return
 	}
 	q := s.slow[shard]
@@ -256,13 +286,16 @@ func (s *Server) enqueueSlow(shard int, pkt []byte, raddr netip.AddrPort, flow u
 	}
 	buf = append(buf[:0], pkt...)
 	select {
-	case q.ch <- slowItem{pkt: buf, raddr: raddr, flow: flow}:
+	case q.ch <- slowItem{pkt: buf, raddr: raddr, flow: flow, ev: ev}:
 	default:
 		select {
 		case q.free <- buf:
 		default:
 		}
 		mSheds.ShardInc(shard)
+		if ev.sampled {
+			s.emitServe(ev, pkt, sh, qFateOK, qVerdictNone, 1, 0, 0, 0)
+		}
 	}
 }
 
@@ -277,7 +310,7 @@ func (s *Server) slowWorker(conn *net.UDPConn, shard int, q *slowQueue) {
 		case <-s.closed:
 			return
 		case it := <-q.ch:
-			s.serveSlow(conn, shard, bufs, it.pkt, it.raddr, it.flow)
+			s.serveSlow(conn, shard, bufs, it.pkt, it.raddr, it.flow, it.ev)
 			select {
 			case q.free <- it.pkt:
 			default:
@@ -290,7 +323,7 @@ func (s *Server) slowWorker(conn *net.UDPConn, shard int, q *slowQueue) {
 // worker's response buffer, truncate to the bucketed limit, and insert the
 // final bytes into the response cache when the fast parser recognized the
 // query (so the next identical query is a zero-alloc hit).
-func (s *Server) serveSlow(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow uint64) {
+func (s *Server) serveSlow(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, raddr netip.AddrPort, flow uint64, ev qev) {
 	sh := parseQueryShape(pkt)
 	st := s.state.Load()
 	query, err := dnswire.Unpack(pkt)
@@ -321,7 +354,7 @@ func (s *Server) serveSlow(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []
 		bufs.key = append(bufs.key, s.bucketByte(sh))
 		st.cache.put(bufs.key, bufs.resp)
 	}
-	s.respond(conn, shard, bufs, pkt, sh, raddr, flow)
+	s.respond(conn, shard, bufs, pkt, sh, raddr, flow, ev)
 }
 
 // respond is the single egress funnel for UDP responses: the RRL verdict
@@ -332,10 +365,15 @@ func (s *Server) serveSlow(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []
 // arrival order.
 //
 //rootlint:hotpath
-func (s *Server) respond(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, sh queryShape, raddr netip.AddrPort, flow uint64) {
+func (s *Server) respond(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []byte, sh queryShape, raddr netip.AddrPort, flow uint64, ev qev) {
+	verdict := uint64(qVerdictNone)
 	if s.rrl != nil {
 		switch s.rrl.decide(bufs.rrlKey, raddr.Addr(), rrlClassify(bufs.resp)) {
 		case rrlDrop:
+			if ev.sampled {
+				s.emitServe(ev, pkt, sh, qFateOK, qVerdictDrop,
+					0, respTC(bufs.resp), uint64(rrlClassify(bufs.resp)), respRcode(bufs.resp))
+			}
 			return
 		case rrlSlip:
 			if !sh.ok {
@@ -345,7 +383,14 @@ func (s *Server) respond(conn *net.UDPConn, shard int, bufs *shardBufs, pkt []by
 				return
 			}
 			bufs.resp = appendSlipStub(bufs.resp, pkt, sh.qEnd)
+			verdict = qVerdictSlip
+		default:
+			verdict = qVerdictSend
 		}
+	}
+	if ev.sampled {
+		s.emitServe(ev, pkt, sh, qFateOK, verdict,
+			0, respTC(bufs.resp), uint64(rrlClassify(bufs.resp)), respRcode(bufs.resp))
 	}
 	first, second := s.link.Admit(netem.Egress, flow, bufs.resp)
 	if first != nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/axfr"
 	"repro/internal/dnswire"
 	"repro/internal/netem"
+	"repro/internal/qlog"
 	"repro/internal/telemetry"
 	"repro/internal/zone"
 )
@@ -75,6 +76,11 @@ type Config struct {
 	// egress, and accepted TCP connections may be cut mid-stream. The
 	// zero profile is off.
 	Netem netem.Profile
+	// QLog attaches a per-query flight recorder to the UDP serve path:
+	// every sampled query emits one serve/query event at its terminal
+	// point (ingress drop, overload shed, or the egress funnel). Nil
+	// leaves recording off; the fast path then pays one nil check.
+	QLog *qlog.Recorder
 	// QueueDepth bounds each shard's slow-path queue (cache misses wait
 	// here for the shard's decode worker; a full queue sheds the query).
 	// 0 means 256.

@@ -55,6 +55,11 @@ var Sites = []Site{
 	// arithmetic. Not kill-capable: packet fates are absorbed losses, and
 	// the link carries no checkpointed state.
 	{Name: "netem/inject", Kill: false},
+	// Head of the flight recorder's checkpoint seal: a kill aborts the run
+	// with the pending qlog block still buffered and dumps the black-box
+	// ring on the way down; resume truncates at the sealed offset and the
+	// resumed flight log is byte-identical.
+	{Name: "qlog/seal", Kill: true},
 	// RRL verdict funnel in the serve path: an injected error forces a
 	// drop verdict for one response. Not kill-capable: the RRL table is
 	// volatile serving state, excluded from checkpoints by construction

@@ -21,6 +21,8 @@ func TestFailpointsite(t *testing.T) { linttest.Run(t, lint.Failpointsite, "fail
 
 func TestMetricname(t *testing.T) { linttest.Run(t, lint.Metricname, "metricname") }
 
+func TestQlogfield(t *testing.T) { linttest.Run(t, lint.Qlogfield, "qlogfield") }
+
 func TestDirective(t *testing.T) { linttest.Run(t, lint.Directive, "directive") }
 
 // The lockcheck fixture is deliberately multi-file (a/a.go + a/helper.go)

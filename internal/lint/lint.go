@@ -155,7 +155,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Suite returns the full rootlint analyzer suite in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Metricname, Orderedmap, Lockcheck, Leakcheck}
+	return []*Analyzer{Directive, Detrand, Hotpath, Failpointsite, Metricname, Qlogfield, Orderedmap, Lockcheck, Leakcheck}
 }
 
 // --- //rootlint: directive parsing -----------------------------------------

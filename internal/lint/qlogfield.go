@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Qlogfield cross-checks flight-recorder event claims against the qlog
+// package's static Registry, program-wide — the wide-event analogue of
+// metricname:
+//
+//  1. every qlog.NewEvent call must pass string literals for the kind and
+//     every field name (computed arguments defeat the schema cross-check and
+//     would only fail at init-time, via NewEvent's panic);
+//  2. the kind literal must name a Registry entry (an unregistered kind
+//     panics the process at package init);
+//  3. the claimed field list must match the entry's registered fields
+//     exactly — same names, same order, same count — so emission arity is
+//     statically visible at the claim site;
+//  4. no kind may be claimed at two call sites — claims are one-shot, so
+//     the second site panics at init;
+//  5. no dead registry entries: a kind no call site claims is schema that
+//     can never appear in a flight log, silently lying about coverage.
+//
+// Only non-test files are scanned for claims, mirroring metricname: the
+// qlog package's own tests legitimately exercise claim panics, and the
+// runtime claim-once panic still guards test binaries.
+var Qlogfield = &Analyzer{
+	Name: "qlogfield",
+	Doc:  "cross-checks qlog event claims against the static event registry",
+}
+
+func init() { Qlogfield.RunProgram = runQlogfield }
+
+type qlogClaim struct {
+	kind   string
+	fields []string
+	pos    token.Pos
+}
+
+type qlogDef struct {
+	kind   string
+	fields []string
+	pos    token.Pos
+}
+
+func runQlogfield(prog *Program) error {
+	var claims []qlogClaim
+	var registry []qlogDef
+	registryFound := false
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			collectQlogClaims(prog, pkg, f, &claims)
+		}
+		if pkg.Pkg != nil && pkg.Pkg.Name() == "qlog" {
+			for _, f := range pkg.Files {
+				if collectQlogRegistry(f, &registry) {
+					registryFound = true
+				}
+			}
+		}
+	}
+
+	if len(claims) == 0 {
+		return nil // program claims no events; nothing to cross-check
+	}
+	if !registryFound {
+		prog.Reportf(Qlogfield, claims[0].pos,
+			"qlog events are claimed but no Registry was found in the qlog package")
+		return nil
+	}
+
+	claimsByKind := make(map[string][]qlogClaim)
+	for _, c := range claims {
+		claimsByKind[c.kind] = append(claimsByKind[c.kind], c)
+	}
+	defByKind := make(map[string][]qlogDef)
+	for _, d := range registry {
+		defByKind[d.kind] = append(defByKind[d.kind], d)
+	}
+
+	for kind, sites := range claimsByKind {
+		if len(sites) > 1 {
+			for _, s := range sites[1:] {
+				prog.Reportf(Qlogfield, s.pos,
+					"qlog event %q is claimed at multiple call sites; claims are one-shot and the second panics at init", kind)
+			}
+		}
+		defs := defByKind[kind]
+		if len(defs) == 0 {
+			prog.Reportf(Qlogfield, sites[0].pos,
+				"qlog event %q is not in the qlog Registry", kind)
+			continue
+		}
+		checkQlogFields(prog, sites[0], defs[0])
+	}
+	for kind, defs := range defByKind {
+		if len(defs) > 1 {
+			for _, d := range defs[1:] {
+				prog.Reportf(Qlogfield, d.pos, "duplicate Registry entry for qlog event %q", kind)
+			}
+		}
+		if len(claimsByKind[kind]) == 0 {
+			prog.Reportf(Qlogfield, defs[0].pos,
+				"dead Registry entry: qlog event %q is never claimed", kind)
+		}
+	}
+	return nil
+}
+
+// checkQlogFields compares one claim's field list against the registered
+// schema: count first (the coarse mismatch), then name-by-name in order.
+func checkQlogFields(prog *Program, c qlogClaim, d qlogDef) {
+	if len(c.fields) != len(d.fields) {
+		prog.Reportf(Qlogfield, c.pos,
+			"qlog event %q claimed with %d fields, Registry has %d", c.kind, len(c.fields), len(d.fields))
+		return
+	}
+	for i := range c.fields {
+		if c.fields[i] != d.fields[i] {
+			prog.Reportf(Qlogfield, c.pos,
+				"qlog event %q field %d is %q, Registry says %q", c.kind, i, c.fields[i], d.fields[i])
+			return
+		}
+	}
+}
+
+// collectQlogClaims gathers <qlog-pkg>.NewEvent call sites with their kind
+// and field-name arguments.
+func collectQlogClaims(prog *Program, pkg *PackageInfo, f *ast.File, out *[]qlogClaim) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NewEvent" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkgNameOf(pkg.Info, ident)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "qlog" && !strings.HasSuffix(path, "/qlog") {
+			return true
+		}
+		if len(call.Args) == 0 || call.Ellipsis.IsValid() {
+			prog.Reportf(Qlogfield, call.Pos(),
+				"qlog event claims must spell the kind and every field as string literals for schema cross-checking")
+			return true
+		}
+		c := qlogClaim{pos: call.Args[0].Pos(), fields: []string{}}
+		for i, arg := range call.Args {
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				prog.Reportf(Qlogfield, arg.Pos(),
+					"qlog event kind and field names must be string literals for schema cross-checking")
+				return true
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if i == 0 {
+				c.kind = v
+			} else {
+				c.fields = append(c.fields, v)
+			}
+		}
+		*out = append(*out, c)
+		return true
+	})
+}
+
+// collectQlogRegistry parses `var Registry = []Def{{Kind: "...", Fields:
+// []Field{{Name: "..."}, ...}}, ...}` declarations, reporting whether one
+// was found in f.
+func collectQlogRegistry(f *ast.File, out *[]qlogDef) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range spec.Names {
+			if name.Name != "Registry" || i >= len(spec.Values) {
+				continue
+			}
+			lit, ok := spec.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			found = true
+			for _, elt := range lit.Elts {
+				entry, ok := elt.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				def := qlogDef{pos: entry.Pos()}
+				for _, field := range entry.Elts {
+					kv, ok := field.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Kind":
+						if s, ok := kv.Value.(*ast.BasicLit); ok && s.Kind == token.STRING {
+							if v, err := strconv.Unquote(s.Value); err == nil {
+								def.kind = v
+							}
+						}
+					case "Fields":
+						def.fields = qlogFieldNames(kv.Value)
+					}
+				}
+				if def.kind != "" {
+					*out = append(*out, def)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// qlogFieldNames extracts the Name literals from a []Field composite.
+func qlogFieldNames(expr ast.Expr) []string {
+	lit, ok := expr.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for _, elt := range lit.Elts {
+		fe, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, fv := range fe.Elts {
+			kv, ok := fv.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Name" {
+				continue
+			}
+			if s, ok := kv.Value.(*ast.BasicLit); ok && s.Kind == token.STRING {
+				if v, err := strconv.Unquote(s.Value); err == nil {
+					names = append(names, v)
+				}
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,36 @@
+// Package a claims flight-recorder events: some correctly registered, some
+// violating the schema cross-checks.
+package a
+
+import "qlogfield/qlog"
+
+// The clean claims: registered once, field lists matching the schema.
+var (
+	evOK    = qlog.NewEvent("a/ok", "x", "y")
+	evDup   = qlog.NewEvent("a/dup", "x")
+	evShort = qlog.NewEvent("a/short", "x", "y") // want "claimed with 2 fields, Registry has 3"
+)
+
+// A second claim of an already-claimed kind panics at init.
+var evDupAgain = qlog.NewEvent("a/dup", "x") // want "claimed at multiple call sites"
+
+// A kind absent from the Registry panics at init.
+var evUnregistered = qlog.NewEvent("a/unregistered", "x") // want "not in the qlog Registry"
+
+// A field name that disagrees with the schema panics at init.
+var evRenamed = qlog.NewEvent("a/renamed", "x", "z") // want "field 1 is \"z\", Registry says \"y\""
+
+// A computed kind defeats the schema cross-check entirely.
+func dynamicKind(kind string) *qlog.Kind {
+	return qlog.NewEvent(kind, "x") // want "must be string literals"
+}
+
+// A computed field name defeats the arity cross-check the same way.
+func dynamicField(field string) *qlog.Kind {
+	return qlog.NewEvent("a/ok", field) // want "must be string literals"
+}
+
+// A spread claim hides the whole field list.
+func spread(all []string) *qlog.Kind {
+	return qlog.NewEvent("a/ok", all...) // want "must spell the kind and every field as string literals"
+}

@@ -1,0 +1,25 @@
+// Package b holds near-miss idioms that must stay silent: NewEvent on an
+// unrelated receiver, and a clean claim against a schema entry that carries
+// Help and Enum decoration.
+package b
+
+import "qlogfield/qlog"
+
+// A registered, once-claimed event: silent.
+var evOK = qlog.NewEvent("b/ok", "n")
+
+// local mimics the constructor name on an unrelated receiver; calls through
+// it are not qlog claims.
+type local struct{}
+
+func (local) NewEvent(kind string, fields ...string) int {
+	_, _ = kind, fields
+	return 0
+}
+
+// notQlog exercises the mimic: same method name, not the qlog package, so
+// the bogus kind must not be reported.
+func notQlog() int {
+	var l local
+	return l.NewEvent("b/not-an-event", "nope")
+}

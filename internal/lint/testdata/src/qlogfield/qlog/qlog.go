@@ -1,0 +1,39 @@
+// Package qlog is a fixture stand-in for the real flight-recorder package:
+// the analyzer only needs the NewEvent shape and the Registry, matched by
+// package name and import-path suffix.
+package qlog
+
+// Field is one numeric event field.
+type Field struct {
+	Name string
+	Help string
+	Enum []string
+}
+
+// Def is one registry entry: a kind and its ordered field list.
+type Def struct {
+	Kind   string
+	Help   string
+	Fields []Field
+}
+
+// Registry is the closed event schema the analyzer cross-checks claim
+// sites against.
+var Registry = []Def{
+	{Kind: "a/ok", Fields: []Field{{Name: "x"}, {Name: "y"}}},
+	{Kind: "a/dup", Fields: []Field{{Name: "x"}}},
+	{Kind: "a/short", Fields: []Field{{Name: "x"}, {Name: "y"}, {Name: "z"}}},
+	{Kind: "a/renamed", Fields: []Field{{Name: "x"}, {Name: "y"}}},
+	{Kind: "a/ok", Fields: []Field{{Name: "x"}}},   // want "duplicate Registry entry"
+	{Kind: "a/dead", Fields: []Field{{Name: "x"}}}, // want "dead Registry entry"
+	{Kind: "b/ok", Fields: []Field{{Name: "n", Help: "a count", Enum: []string{"zero", "one"}}}},
+}
+
+// Kind is a claimed event kind handle.
+type Kind struct{}
+
+// NewEvent claims an event kind.
+func NewEvent(kind string, fields ...string) *Kind {
+	_, _ = kind, fields
+	return &Kind{}
+}

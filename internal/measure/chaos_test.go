@@ -20,6 +20,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/geo"
 	"repro/internal/measure"
+	"repro/internal/qlog"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vantage"
@@ -226,6 +227,159 @@ func firedAtLeastOneKill(snap []telemetry.MetricValue) bool {
 		}
 	}
 	return fired >= 1 && kills >= 1
+}
+
+// qlogRunToFile executes a fresh campaign recording the dataset into dataPath
+// and a full-rate flight log into qlogPath, with the black-box ring dumping
+// to blackboxPath on a kill. Like runToFile, a killed run abandons both
+// writers un-closed, as SIGKILL would.
+func qlogRunToFile(t *testing.T, w *measure.World, cfg measure.Config, dataPath, qlogPath, blackboxPath string) error {
+	t.Helper()
+	df, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	wr, err := dataset.NewWriter(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := os.Create(qlogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	rec, err := qlog.New(qf, qlog.Sampler{Every: 1}, blackboxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := measure.NewCampaign(cfg, w)
+	runErr := c.Run(wr, measure.NewFlightLog(rec))
+	if runErr == nil {
+		if err := wr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return runErr
+}
+
+// TestChaosQlogKillResume extends the kill matrix to the flight recorder's
+// own seal site: SIGKILL inside the flight log's CheckpointSeal, at worker
+// counts {1, 4}. The dying run must leave a black-box ring dump that decodes
+// as a qlog segment, and the resumed recording must reproduce the
+// uninterrupted reference flight log byte-for-byte.
+func TestChaosQlogKillResume(t *testing.T) {
+	w := chaosWorld(t)
+	dir := t.TempDir()
+
+	qlog.ResetBlackbox()
+	refCfg := chaosConfig()
+	refCfg.CheckpointPath = filepath.Join(dir, "ref.ckpt")
+	refQlog := filepath.Join(dir, "ref.qlog")
+	if err := qlogRunToFile(t, w, refCfg, filepath.Join(dir, "ref.dat"), refQlog, ""); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refQlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run("workers="+string(rune('0'+workers)), func(t *testing.T) {
+			qlog.ResetBlackbox()
+			cfg := chaosConfig()
+			cfg.Workers = workers
+			base := strings.ReplaceAll(t.Name(), "/", "_")
+			cfg.CheckpointPath = filepath.Join(dir, base+".ckpt")
+			dataPath := filepath.Join(dir, base+".dat")
+			qlogPath := filepath.Join(dir, base+".qlog")
+			bbPath := filepath.Join(dir, base+".blackbox")
+			// SIGKILL at the flight recorder's second checkpoint seal: the
+			// dataset block has already sealed, the checkpoint has not been
+			// written, and the recorder's pending block never reaches disk.
+			if err := failpoint.Enable("qlog/seal=kill@2"); err != nil {
+				t.Fatal(err)
+			}
+			runErr := qlogRunToFile(t, w, cfg, dataPath, qlogPath, bbPath)
+			failpoint.Disable()
+			if !errors.Is(runErr, failpoint.ErrKilled) {
+				t.Fatalf("run error = %v, want ErrKilled", runErr)
+			}
+
+			// The crash artifact: a black-box dump that any qlog reader can
+			// decode, holding the recent flight history.
+			bbf, err := os.Open(bbPath)
+			if err != nil {
+				t.Fatalf("black-box dump missing after kill: %v", err)
+			}
+			br, err := qlog.NewReader(bbf)
+			if err != nil {
+				t.Fatalf("black-box dump is not a qlog segment: %v", err)
+			}
+			bbEvs, err := br.Events()
+			bbf.Close()
+			if err != nil {
+				t.Fatalf("black-box dump does not decode: %v", err)
+			}
+			if len(bbEvs) == 0 {
+				t.Error("black-box dump is empty; the ring held recorded events at the kill")
+			}
+
+			// Resume both durable handlers from the checkpoint: the writer at
+			// its sealed offset, the recorder at its sealed offset.
+			cp, err := measure.LoadCheckpoint(cfg.CheckpointPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wrState, err := cp.HandlerState(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recState, err := cp.HandlerState(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			df, err := os.OpenFile(dataPath, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer df.Close()
+			wr, err := dataset.ResumeWriter(df, wrState)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qf, err := os.OpenFile(qlogPath, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer qf.Close()
+			rec, err := qlog.Resume(qf, qlog.Sampler{Every: 1}, bbPath, recState)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Resume = true
+			c := measure.NewCampaign(cfg, w)
+			if err := c.Run(wr, measure.NewFlightLog(rec)); err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if err := wr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(qlogPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, refBytes) {
+				t.Errorf("resumed flight log differs from reference: %d vs %d bytes", len(got), len(refBytes))
+			}
+		})
+	}
 }
 
 // TestSealErrorRetriedWithinBudget injects a one-shot dataset write error at

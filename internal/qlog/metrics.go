@@ -1,0 +1,12 @@
+package qlog
+
+import "repro/internal/telemetry"
+
+// Volatile class: how many events land depends on which packets arrive
+// (sampling is deterministic per key, but offered traffic is the
+// environment's business), and the flight log itself — not these counters —
+// is the determinism-checked artifact.
+var (
+	mEvents = telemetry.NewCounter("qlog/events")
+	mDumps  = telemetry.NewCounter("qlog/blackbox_dumps")
+)

@@ -1,0 +1,418 @@
+// Package segment is the repo's sealed-block container format, factored out
+// of the dataset recorder so other record streams (the qlog flight recorder)
+// can share its durability story. A segment file opens with a caller-chosen
+// magic and a varint version, followed by framed blocks:
+//
+//	[u32be compressed length][u32be CRC-32C of payload][u32be record count]
+//
+// each holding a DEFLATE-compressed run of records. Repeated strings intern
+// into a per-block dictionary that resets at every seal, so blocks are
+// independently decodable; a crash can at worst tear the trailing block,
+// which the Reader detects (short frame, CRC mismatch, bad DEFLATE) and
+// cleanly truncates instead of erroring mid-stream. Writers resume appending
+// after the last sealed block of an interrupted recording byte-identically.
+//
+// The package is deliberately policy-free: record encodings, failpoint
+// sites, and metrics belong to the owning layer (dataset, qlog), which hook
+// in via CrashHook and OnSeal.
+package segment
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// DefaultBlockBytes is the uncompressed block size at which a Writer seals
+// automatically. Checkpoint boundaries also seal, so the value only bounds
+// memory (and crash loss) between checkpoints.
+const DefaultBlockBytes = 512 * 1024
+
+// FrameHeaderLen is the fixed per-block frame: length, CRC, record count.
+const FrameHeaderLen = 12
+
+// MaxCompressedBlock bounds a frame length a Reader will believe; anything
+// larger is treated as a torn/corrupt tail rather than allocated.
+const MaxCompressedBlock = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer records framed blocks of records. Record bytes accumulate in an
+// in-memory block via Uvarint/Intern/Raw; EndRecord marks a record boundary
+// and auto-seals past BlockBytes, so seal points are a pure function of the
+// record stream and interrupted runs frame their blocks identically.
+type Writer struct {
+	out   io.Writer
+	magic string
+	buf   bytes.Buffer // current (unsealed) block's records
+	dict  map[string]uint64
+	next  uint64
+	err   error
+
+	// BlockBytes is the auto-seal threshold (uncompressed); 0 means
+	// DefaultBlockBytes. It must match between runs for byte-identical
+	// kill/resume recordings.
+	BlockBytes int
+
+	// CrashHook, when set, runs after a frame is assembled and before it is
+	// written. A non-nil return simulates a crash mid-write: half the frame
+	// lands on the output (a torn tail), the error parks in the writer, and
+	// the sealed offset still ends at the previous block. The owning layer
+	// points this at its failpoint site.
+	CrashHook func() error
+
+	// OnSeal, when set, observes each durably written frame's size — the
+	// owning layer's metrics hook.
+	OnSeal func(frameBytes int)
+
+	blockRecords uint32
+	sealed       int64 // bytes durably framed, header included
+}
+
+// NewWriter starts a segment stream on out, writing the magic + version
+// header immediately.
+func NewWriter(out io.Writer, magic string, version uint64) (*Writer, error) {
+	w := &Writer{out: out, magic: magic}
+	w.resetDict()
+	hdr := make([]byte, 0, len(magic)+binary.MaxVarintLen64)
+	hdr = append(hdr, magic...)
+	hdr = binary.AppendUvarint(hdr, version)
+	if _, err := out.Write(hdr); err != nil {
+		return nil, err
+	}
+	w.sealed = int64(len(hdr))
+	return w, nil
+}
+
+// truncater is what Resume needs from its output to discard a torn tail;
+// *os.File satisfies it.
+type truncater interface {
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// Resume continues an interrupted stream: it truncates out to the sealed
+// offset (discarding any torn tail), positions writes at the new end, and
+// starts the next block with a fresh dictionary — exactly the state an
+// uninterrupted run would have had at that boundary, so the resumed file is
+// byte-identical.
+func Resume(out io.Writer, magic string, offset int64) (*Writer, error) {
+	if offset < int64(len(magic))+1 {
+		return nil, fmt.Errorf("segment: resume offset %d precedes header", offset)
+	}
+	tr, ok := out.(truncater)
+	if !ok {
+		return nil, errors.New("segment: resume target does not support truncation")
+	}
+	if err := tr.Truncate(offset); err != nil {
+		return nil, fmt.Errorf("segment: truncating torn tail: %w", err)
+	}
+	if _, err := tr.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	w := &Writer{out: out, magic: magic, sealed: offset}
+	w.resetDict()
+	return w, nil
+}
+
+func (w *Writer) resetDict() {
+	w.dict = make(map[string]uint64)
+	w.next = 1
+}
+
+// Uvarint appends a varint to the current record.
+func (w *Writer) Uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.buf.Write(buf[:n])
+}
+
+// Intern appends a string reference: known strings cost one varint; new ones
+// are written once with their bytes. Scope is the current block.
+func (w *Writer) Intern(s string) {
+	if id, ok := w.dict[s]; ok {
+		w.Uvarint(id << 1)
+		return
+	}
+	w.dict[s] = w.next
+	w.next++
+	w.Uvarint(uint64(len(s))<<1 | 1)
+	w.buf.WriteString(s)
+}
+
+// Raw appends pre-encoded record bytes verbatim. Callers that encode whole
+// records into pooled buffers (qlog) land them here in one copy.
+func (w *Writer) Raw(p []byte) {
+	w.buf.Write(p)
+}
+
+// EndRecord marks the end of one record, auto-sealing when the pending
+// block exceeds the size threshold.
+func (w *Writer) EndRecord() {
+	w.blockRecords++
+	limit := w.BlockBytes
+	if limit <= 0 {
+		limit = DefaultBlockBytes
+	}
+	if w.buf.Len() >= limit {
+		w.Seal() // a failed seal parks the error in w.err
+	}
+}
+
+// Seal compresses and frames the current block, making every record so far
+// durable on the underlying writer. Sealing an empty block is a no-op.
+// After a seal the dictionary resets, so blocks stand alone.
+func (w *Writer) Seal() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.blockRecords == 0 {
+		return nil
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := fw.Write(w.buf.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	frame := make([]byte, FrameHeaderLen+comp.Len())
+	binary.BigEndian.PutUint32(frame[0:], uint32(comp.Len()))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(comp.Bytes(), crcTable))
+	binary.BigEndian.PutUint32(frame[8:], w.blockRecords)
+	copy(frame[FrameHeaderLen:], comp.Bytes())
+	if w.CrashHook != nil {
+		if ferr := w.CrashHook(); ferr != nil {
+			w.out.Write(frame[:FrameHeaderLen+comp.Len()/2])
+			w.err = ferr
+			return ferr
+		}
+	}
+	if _, err := w.out.Write(frame); err != nil {
+		w.err = err
+		return err
+	}
+	w.sealed += int64(len(frame))
+	if w.OnSeal != nil {
+		w.OnSeal(len(frame))
+	}
+	w.buf.Reset()
+	w.blockRecords = 0
+	w.resetDict()
+	return nil
+}
+
+// SealedBytes reports how many bytes of the output are covered by sealed
+// blocks (the crash-recoverable prefix).
+func (w *Writer) SealedBytes() int64 { return w.sealed }
+
+// Err returns the writer's parked error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Sync flushes the underlying file when it supports it.
+func (w *Writer) Sync() error {
+	if s, ok := w.out.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close seals any pending block and flushes the stream.
+func (w *Writer) Close() error {
+	if err := w.Seal(); err != nil {
+		return err
+	}
+	return w.err
+}
+
+// Frame is one sealed block as scanned off the wire, CRC unverified: the
+// CPU-bound work (checksum, DEFLATE, record decode) happens in Decompress so
+// it can run on a worker.
+type Frame struct {
+	Hdr   [FrameHeaderLen]byte
+	Comp  []byte
+	Count uint32
+}
+
+// Reader scans framed blocks off a segment stream, tolerating a torn
+// trailing block. Frame scanning is sequential; Decompress is a pure
+// function of a Frame, so callers may fan decode out to workers (dataset's
+// parallel replay does).
+type Reader struct {
+	raw *bufio.Reader
+
+	// Tear state belongs to the goroutine that owns the Reader; callers
+	// running parallel decode apply tears at the torn frame's delivery
+	// position via Tear.
+	//rootlint:shardconfined Reader.Tear,Reader.Torn,Reader.TornReason
+	torn bool
+	//rootlint:shardconfined Reader.Tear,Reader.Torn,Reader.TornReason
+	tornErr error
+}
+
+// ErrBadMagic reports a stream that does not open with the expected magic.
+var ErrBadMagic = errors.New("segment: bad magic")
+
+// NewReader opens a segment stream, checking magic and version.
+func NewReader(in io.Reader, magic string, version uint64) (*Reader, error) {
+	raw := bufio.NewReader(in)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(raw, head); err != nil || string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	v, err := binary.ReadUvarint(raw)
+	if err != nil || v != version {
+		return nil, fmt.Errorf("segment: unsupported version %d", v)
+	}
+	return &Reader{raw: raw}, nil
+}
+
+// NewReaderAt wraps a stream whose header the caller has already consumed
+// and validated (dataset does its own header parse for legacy-format
+// detection).
+func NewReaderAt(raw *bufio.Reader) *Reader {
+	return &Reader{raw: raw}
+}
+
+// Torn reports whether the stream ended in a torn (incomplete or corrupt)
+// trailing block, which scanning silently truncated at the last sealed
+// boundary — the expected state after a crash mid-recording.
+func (r *Reader) Torn() bool { return r.torn }
+
+// TornReason describes the detected tail corruption, nil when !Torn().
+func (r *Reader) TornReason() error { return r.tornErr }
+
+// ScanFrame reads the next sealed block's frame without decompressing it
+// and without mutating any Reader state beyond the stream position: io.EOF
+// means a clean end at a block boundary; any other error is tear-class and
+// the caller decides when to apply it. The frame's compressed payload is
+// freshly allocated — frames may outlive the sequential scan.
+func (r *Reader) ScanFrame() (Frame, error) {
+	var f Frame
+	if _, err := io.ReadFull(r.raw, f.Hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return f, io.EOF // clean end: file stops at a block boundary
+		}
+		return f, fmt.Errorf("segment: torn frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(f.Hdr[0:])
+	f.Count = binary.BigEndian.Uint32(f.Hdr[8:])
+	if n == 0 || n > MaxCompressedBlock {
+		return f, fmt.Errorf("segment: implausible block length %d", n)
+	}
+	f.Comp = make([]byte, n)
+	if _, err := io.ReadFull(r.raw, f.Comp); err != nil {
+		if err == io.EOF {
+			// Zero payload bytes after a complete header is a torn tail, not
+			// a block boundary; don't let the bare io.EOF read as clean end.
+			err = io.ErrUnexpectedEOF
+		}
+		return f, fmt.Errorf("segment: torn block payload: %w", err)
+	}
+	return f, nil
+}
+
+// NextFrame is ScanFrame for serial consumers: a tear-class scan error is
+// applied to the Reader immediately and converted to a clean io.EOF.
+func (r *Reader) NextFrame() (Frame, error) {
+	f, err := r.ScanFrame()
+	if err != nil && !errors.Is(err, io.EOF) {
+		return f, r.Tear(err)
+	}
+	return f, err
+}
+
+// Tear records the torn tail and converts it into a clean end-of-stream.
+func (r *Reader) Tear(reason error) error {
+	r.torn = true
+	r.tornErr = reason
+	return io.EOF
+}
+
+// Decompress verifies a frame's CRC and inflates its payload. It is a pure
+// function of the frame, safe to run on any worker; an error is tear-class
+// (the block's bytes are corrupt) and the caller should truncate there.
+func Decompress(f Frame) ([]byte, error) {
+	sum := binary.BigEndian.Uint32(f.Hdr[4:])
+	if crc32.Checksum(f.Comp, crcTable) != sum {
+		return nil, errors.New("segment: block CRC mismatch")
+	}
+	payload, err := io.ReadAll(flate.NewReader(bytes.NewReader(f.Comp)))
+	if err != nil {
+		return nil, fmt.Errorf("segment: corrupt block stream: %w", err)
+	}
+	return payload, nil
+}
+
+// RecordReader decodes the records of a single decompressed block. The
+// dictionary is block-scoped (reset at every seal), which is precisely what
+// makes blocks independently decodable.
+type RecordReader struct {
+	blk  *bytes.Reader
+	dict []string
+}
+
+// NewRecordReader wraps one block's decompressed payload.
+func NewRecordReader(payload []byte) *RecordReader {
+	return &RecordReader{blk: bytes.NewReader(payload), dict: []string{""}}
+}
+
+// Len reports the unread payload bytes.
+func (r *RecordReader) Len() int { return r.blk.Len() }
+
+// Uvarint reads one varint.
+func (r *RecordReader) Uvarint() (uint64, error) { return binary.ReadUvarint(r.blk) }
+
+// Str reads one interned string reference.
+func (r *RecordReader) Str() (string, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if v&1 == 0 {
+		id := v >> 1
+		if id >= uint64(len(r.dict)) {
+			return "", errors.New("segment: bad dictionary reference")
+		}
+		return r.dict[id], nil
+	}
+	if v>>1 > uint64(r.blk.Len()) {
+		return "", io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, v>>1)
+	if _, err := io.ReadFull(r.blk, buf); err != nil {
+		return "", err
+	}
+	s := string(buf)
+	r.dict = append(r.dict, s)
+	return s, nil
+}
+
+// Bytes reads one length-prefixed byte string (written as Uvarint(len) +
+// Raw(bytes)).
+func (r *RecordReader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.blk.Len()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.blk, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -156,6 +156,8 @@ var Registry = []Def{
 	{Name: "blast/retries", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries re-sent after a per-attempt deadline expired"},
 	{Name: "blast/lost", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast queries abandoned after the retry budget (sent == received + lost at exit)"},
 	{Name: "blast/mismatches", Kind: KindCounter, Class: ClassVolatile, Help: "rootblast datagrams that matched no outstanding query"},
+	{Name: "qlog/events", Kind: KindCounter, Class: ClassVolatile, Help: "flight-recorder events emitted (count follows offered traffic; the log itself is the determinism-checked artifact)"},
+	{Name: "qlog/blackbox_dumps", Kind: KindCounter, Class: ClassVolatile, Help: "black-box ring dumps written (panic, budget abort, or failpoint kill)"},
 	{Name: "wallclock/blast_rtt_us", Kind: KindHistogram, Class: ClassVolatile, Help: "rootblast query round-trip time"},
 	{Name: "wallclock/tick_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per tick (compute + drain)"},
 	{Name: "wallclock/wirecheck_us", Kind: KindHistogram, Class: ClassVolatile, Help: "wall time per wire-check battery"},

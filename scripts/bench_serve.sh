@@ -40,8 +40,27 @@ echo "== serve bench: cache on ==" >&2
 run_one "" "$tmp/cache_on.json"
 echo "== serve bench: cache off ==" >&2
 run_one "-no-cache" "$tmp/cache_off.json"
+echo "== serve bench: flight recorder sampling 1/64 ==" >&2
+run_one "-qlog $tmp/flight.qlog -qlog-sample every=64,seed=7" "$tmp/qlog_on.json"
 
 on_qps=$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' "$tmp/cache_on.json")
+qlog_qps=$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' "$tmp/qlog_on.json")
+
+# The flight-recorder budget: sampling 1/64 must cost no more than ~5% qps
+# against the same cache-on serve loop (PR 10 acceptance).
+qlog_pct=$(awk -v on="$on_qps" -v ql="$qlog_qps" \
+	'BEGIN { printf "%.1f", (on - ql) * 100 / on }')
+{
+	echo '{'
+	echo '  "note": "flight recorder overhead: cache-on serve loop vs the same loop recording -qlog-sample every=64,seed=7; overhead_pct must stay <= ~5",'
+	printf '  "qlog_off": '
+	sed 's/^/  /' "$tmp/cache_on.json" | sed '1s/^  //;$s/$/,/'
+	printf '  "qlog_1in64": '
+	sed 's/^/  /' "$tmp/qlog_on.json" | sed '1s/^  //;$s/$/,/'
+	echo "  \"overhead_pct\": $qlog_pct"
+	echo '}'
+} >BENCH_PR10.json
+echo "wrote BENCH_PR10.json (qlog off ${on_qps} qps -> 1/64 sampled ${qlog_qps} qps, ${qlog_pct}% overhead)" >&2
 {
 	echo '{'
 	echo '  "note": "before = pre-optimization serve loop, same rootblast harness (4 workers, window 64, tlds 120, seed 1); after captured via scripts/bench_serve.sh",'

@@ -48,10 +48,15 @@ for target in FuzzUnpack FuzzDecodeName FuzzViewAgreement; do
 	echo "== fuzz $target (5s) =="
 	go test -run "^$target$" -fuzz "^$target$" -fuzztime 5s ./internal/dnswire
 done
+# The flight-log frame decoder gets the same treatment: arbitrary bytes must
+# never panic the reader, and whatever decodes must satisfy the envelope
+# invariants (registered kind, full field list).
+echo "== fuzz FuzzQlogDecode (5s) =="
+go test -run '^FuzzQlogDecode$' -fuzz '^FuzzQlogDecode$' -fuzztime 5s ./internal/qlog
 
 echo "== chaos matrix =="
 go test -run 'TestChaos|TestSeal|TestWorker|TestResume|TestTornTail|TestCorruptBlock|TestReplay' \
-	./internal/measure ./internal/dataset
+	./internal/measure ./internal/dataset ./internal/qlog
 
 # Adversarial transport: the netem fate engine, RRL verdict determinism
 # (including the forced-drop and forced-shed failpoints), truncation
@@ -94,6 +99,7 @@ for w in 1 4; do
 	"$tmp/rootserve" -addr 127.0.0.1:0 -tlds 20 -serve-workers "$w" \
 		-netem "loss=0.1,corrupt=0.05,seed=42" \
 		-rrl "rate=0.5,burst=1,slip=2,seed=7" \
+		-qlog "$tmp/flight-$w.qlog" -qlog-sample "every=1,seed=7" \
 		-metrics "$tmp/adv-$w.json" >"$tmp/adv-$w.log" &
 	srv=$!
 	port=""
@@ -111,3 +117,38 @@ for w in 1 4; do
 	wait "$srv"
 done
 "$tmp/rootanalyze" -diff "$tmp/adv-1.json" "$tmp/adv-4.json"
+
+# The same two runs recorded full-rate flight logs: the canonically ordered
+# per-query event streams must be byte-identical across serve-worker counts
+# (the PR-10 acceptance twin of the -diff check above).
+echo "== flight-log identity (serve-workers 1 vs 4) =="
+"$tmp/rootanalyze" -qlog diff "$tmp/flight-1.qlog" "$tmp/flight-4.qlog"
+
+# Client/server flight-log join: both sides record the same sampled subset
+# (equal -qlog-sample specs), and the loss accounting must balance — every
+# query the client sent is matched to a served response or explained by a
+# server-side drop. Corruption is off in this profile: a corrupted query
+# hashes to a different key on the server, which is exactly what the join
+# would (correctly) refuse to pair.
+echo "== flight-log client/server join =="
+"$tmp/rootserve" -addr 127.0.0.1:0 -tlds 20 \
+	-netem "loss=0.1,seed=42" \
+	-rrl "rate=0.5,burst=1,slip=2,seed=7" \
+	-qlog "$tmp/join-server.qlog" -qlog-sample "every=1,seed=7" \
+	>"$tmp/join.log" &
+srv=$!
+port=""
+i=0
+while [ $i -lt 100 ]; do
+	port=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9]*\) (udp+tcp)$/\1/p' "$tmp/join.log")
+	[ -n "$port" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$port" ] || { echo "rootserve (join leg) never bound" >&2; exit 1; }
+"$tmp/rootblast" -server "127.0.0.1:$port" -count 120 -blast-workers 1 \
+	-window 1 -tlds 20 -timeout 50ms -retry 2 -backoff 2ms \
+	-qlog "$tmp/join-client.qlog" -qlog-sample "every=1,seed=7" >/dev/null
+kill -INT "$srv"
+wait "$srv"
+"$tmp/rootanalyze" -qlog join "$tmp/join-server.qlog" "$tmp/join-client.qlog"
